@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation A2 (paper Sections 2.6 and 3.5): five-level page tables add
+ * a serial access to every walk; ASAP naturally extends with a PL3
+ * prefetch (P1+P2+P3) and hides most of the extra depth.
+ */
+
+#include "bench_common.hh"
+
+using namespace asapbench;
+
+int
+main()
+{
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+
+    for (const char *name : {"mcf", "mc80", "redis"}) {
+        const auto spec = specByName(name);
+
+        Environment base4(*spec);
+        EnvironmentOptions options5;
+        options5.ptLevels = 5;
+        Environment base5(*spec, options5);
+        EnvironmentOptions asap5 = options5;
+        asap5.asapPlacement = true;
+        asap5.asapLevels = {1, 2, 3};
+        Environment accel5(*spec, asap5);
+
+        const RunConfig run = defaultRunConfig(false);
+        rows.push_back(
+            {*&spec->name,
+             {base4.run(makeMachineConfig(), run).avgWalkLatency(),
+              base5.run(makeMachineConfig(), run).avgWalkLatency(),
+              accel5.run(makeMachineConfig(AsapConfig::p1p2()), run)
+                  .avgWalkLatency(),
+              accel5.run(makeMachineConfig(AsapConfig::p1p2p3()), run)
+                  .avgWalkLatency()}});
+        std::fprintf(stderr, "  %s done\n", name);
+    }
+    rows.push_back(averageRow(rows));
+    printTable("Ablation A2: five-level page tables (native, isolation)",
+               {"4L base", "5L base", "5L P1+P2", "5L +P3"}, rows);
+    return 0;
+}

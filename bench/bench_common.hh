@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the per-table/figure benchmark binaries: aligned
+ * table printing and the standard environment/run plumbing.
+ *
+ * Every binary regenerates one table or figure of the paper and prints
+ * the same rows/series the paper reports. Set ASAP_QUICK=1 for a 4x
+ * faster (smaller-footprint) sanity pass.
+ */
+
+#ifndef ASAP_BENCH_COMMON_HH
+#define ASAP_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/environment.hh"
+#include "workloads/suite.hh"
+
+namespace asapbench
+{
+
+using namespace asap;
+
+/** Print an aligned table: header row + one row per entry. */
+inline void
+printTable(const std::string &title,
+           const std::vector<std::string> &columns,
+           const std::vector<std::pair<std::string, std::vector<double>>>
+               &rows,
+           const char *format = "%10.1f")
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("%-10s", "");
+    for (const auto &column : columns)
+        std::printf("%12s", column.c_str());
+    std::printf("\n");
+    for (const auto &[name, values] : rows) {
+        std::printf("%-10s", name.c_str());
+        for (const double value : values) {
+            std::printf("  ");
+            std::printf(format, value);
+        }
+        std::printf("\n");
+    }
+}
+
+/** Column-wise average row over workload rows. */
+inline std::pair<std::string, std::vector<double>>
+averageRow(const std::vector<std::pair<std::string, std::vector<double>>>
+               &rows)
+{
+    std::vector<double> avg;
+    if (rows.empty())
+        return {"Average", avg};
+    avg.assign(rows[0].second.size(), 0.0);
+    for (const auto &[name, values] : rows) {
+        for (std::size_t i = 0; i < values.size(); ++i)
+            avg[i] += values[i];
+    }
+    for (double &v : avg)
+        v /= static_cast<double>(rows.size());
+    return {"Average", avg};
+}
+
+/** Percentage reduction of @p value relative to @p baseline. */
+inline double
+reductionPct(double baseline, double value)
+{
+    return baseline <= 0.0 ? 0.0 : 100.0 * (1.0 - value / baseline);
+}
+
+} // namespace asapbench
+
+#endif // ASAP_BENCH_COMMON_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Calibration harness (not a paper experiment): prints the key
+ * observables for one workload across the four scenario quadrants so
+ * that workload parameters can be tuned against the paper's reported
+ * ranges (Figures 2/3/8/10, Tables 1/7).
+ *
+ * Usage: calibrate [workload ...]   (default: mcf redis)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/environment.hh"
+#include "workloads/suite.hh"
+
+using namespace asap;
+
+namespace
+{
+
+void
+report(const char *tag, const RunStats &stats, bool breakdown = false)
+{
+    std::printf("  %-28s walk=%7.1f cyc  mpka=%6.2f  l2miss=%5.1f%%  "
+                "walkfrac=%5.1f%%  data=%5.1f cyc  faults=%lu\n",
+                tag, stats.avgWalkLatency(), stats.mpka(),
+                100.0 * stats.l2MissRatio(),
+                100.0 * stats.walkCycleFraction(),
+                stats.accesses
+                    ? static_cast<double>(stats.dataCycles) /
+                          static_cast<double>(stats.accesses)
+                    : 0.0,
+                stats.faults);
+    if (breakdown) {
+        for (unsigned level = 4; level >= 1; --level) {
+            if (stats.levelDist[level].total() == 0)
+                continue;
+            std::printf("      PL%u: %s\n", level,
+                        stats.levelDist[level].format().c_str());
+        }
+    }
+}
+
+void
+calibrate(const WorkloadSpec &spec)
+{
+    std::printf("== %s (paper %.0fGB, %lu pages) ==\n", spec.name.c_str(),
+                spec.paperGb, applyQuickMode(spec).residentPages);
+
+    for (const bool virtualized : {false, true}) {
+        // Baseline placement environment.
+        EnvironmentOptions base;
+        base.virtualized = virtualized;
+        Environment baseEnv(spec, base);
+
+        EnvironmentOptions asapOpts = base;
+        asapOpts.asapPlacement = true;
+        Environment asapEnv(spec, asapOpts);
+
+        for (const bool colocation : {false, true}) {
+            const RunConfig run = defaultRunConfig(colocation);
+            const char *mode = virtualized
+                                   ? (colocation ? "virt+coloc" : "virt")
+                                   : (colocation ? "native+coloc"
+                                                 : "native");
+            std::printf(" [%s]\n", mode);
+
+            report("baseline",
+                   baseEnv.run(makeMachineConfig(), run),
+                   /*breakdown=*/!virtualized);
+            if (!virtualized) {
+                report("P1", asapEnv.run(
+                           makeMachineConfig(AsapConfig::p1()), run));
+                report("P1+P2", asapEnv.run(
+                           makeMachineConfig(AsapConfig::p1p2()), run));
+            } else {
+                report("P1g+P2g", asapEnv.run(
+                           makeMachineConfig(AsapConfig::p1p2()), run));
+                report("P1g+P1h+P2g+P2h",
+                       asapEnv.run(makeMachineConfig(AsapConfig::p1p2(),
+                                                     AsapConfig::p1p2()),
+                                   run));
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.emplace_back(argv[i]);
+    if (names.empty())
+        names = {"mcf", "redis"};
+
+    for (const std::string &name : names) {
+        const auto spec = specByName(name);
+        if (!spec) {
+            std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+            return 1;
+        }
+        calibrate(*spec);
+    }
+    return 0;
+}

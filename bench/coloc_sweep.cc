@@ -1,0 +1,21 @@
+#include "sim/environment.hh"
+#include "workloads/suite.hh"
+#include <cstdio>
+using namespace asap;
+int main(int argc, char** argv){
+  for (const char* name : {"mcf", "bfs", "mc80", "mc400", "redis"}) {
+    auto spec = *specByName(name);
+    EnvironmentOptions base;
+    Environment envN(spec, base);
+    EnvironmentOptions virt = base; virt.virtualized = true;
+    Environment envV(spec, virt);
+    for (unsigned ratio : {0u, 1u, 2u}) {
+      RunConfig run = defaultRunConfig(ratio > 0);
+      run.corunnerPerAccess = ratio;
+      auto sn = envN.run(makeMachineConfig(), run);
+      auto sv = envV.run(makeMachineConfig(), run);
+      std::printf("%-6s ratio=%u  native walk=%7.1f  virt walk=%7.1f\n",
+        name, ratio, sn.avgWalkLatency(), sv.avgWalkLatency());
+    }
+  }
+}

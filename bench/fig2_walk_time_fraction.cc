@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces Figure 2: fraction of execution time spent in page walks
+ * per workload under the four scenarios, baseline system.
+ *
+ * Paper shape: graph analytics highest (bfs up to ~80% native),
+ * virtualization pushing everything up (to ~93% max).
+ */
+
+#include "bench_common.hh"
+
+using namespace asapbench;
+
+int
+main()
+{
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    const MachineConfig baseline = makeMachineConfig();
+
+    for (const WorkloadSpec &spec : standardSuite()) {
+        Environment native(spec);
+        EnvironmentOptions virtOptions;
+        virtOptions.virtualized = true;
+        Environment virtualized(spec, virtOptions);
+
+        rows.push_back(
+            {spec.name,
+             {100.0 * native.run(baseline, defaultRunConfig(false))
+                          .walkCycleFraction(),
+              100.0 * native.run(baseline, defaultRunConfig(true))
+                          .walkCycleFraction(),
+              100.0 * virtualized.run(baseline, defaultRunConfig(false))
+                          .walkCycleFraction(),
+              100.0 * virtualized.run(baseline, defaultRunConfig(true))
+                          .walkCycleFraction()}});
+        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
+    }
+    rows.push_back(averageRow(rows));
+    printTable("Figure 2: % execution time in page walks",
+               {"native", "nat+coloc", "virt", "virt+coloc"}, rows);
+    return 0;
+}

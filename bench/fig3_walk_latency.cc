@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Figure 3: average page walk latency per workload under
+ * native / native+colocation / virtualized / virtualized+colocation,
+ * on the baseline system (no ASAP).
+ *
+ * Paper shape: native iso 34-101 (avg 51); colocation ~2.6x; virt
+ * ~4.4x native; virt+coloc the worst (avg 493).
+ */
+
+#include "bench_common.hh"
+
+using namespace asapbench;
+
+int
+main()
+{
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    const MachineConfig baseline = makeMachineConfig();
+
+    for (const WorkloadSpec &spec : standardSuite()) {
+        Environment native(spec);
+        EnvironmentOptions virtOptions;
+        virtOptions.virtualized = true;
+        Environment virtualized(spec, virtOptions);
+
+        rows.push_back(
+            {spec.name,
+             {native.run(baseline, defaultRunConfig(false))
+                  .avgWalkLatency(),
+              native.run(baseline, defaultRunConfig(true))
+                  .avgWalkLatency(),
+              virtualized.run(baseline, defaultRunConfig(false))
+                  .avgWalkLatency(),
+              virtualized.run(baseline, defaultRunConfig(true))
+                  .avgWalkLatency()}});
+        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
+    }
+    rows.push_back(averageRow(rows));
+    printTable("Figure 3: average page walk latency (cycles)",
+               {"native", "nat+coloc", "virt", "virt+coloc"}, rows);
+    return 0;
+}

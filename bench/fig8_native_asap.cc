@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Figure 8: native average page walk latency for Baseline,
+ * P1 (prefetch PL1 only) and P1+P2, (a) in isolation and (b) under SMT
+ * colocation.
+ *
+ * Paper shape: P1 -12% iso / -20% coloc; P1+P2 -14% iso / -25% coloc
+ * (max -42% on mc400 under colocation).
+ */
+
+#include "bench_common.hh"
+
+using namespace asapbench;
+
+int
+main()
+{
+    std::vector<std::pair<std::string, std::vector<double>>> iso, coloc;
+
+    for (const WorkloadSpec &spec : standardSuite()) {
+        Environment baseline(spec);
+        EnvironmentOptions asapOptions;
+        asapOptions.asapPlacement = true;
+        Environment asap(spec, asapOptions);
+
+        const MachineConfig base = makeMachineConfig();
+        const MachineConfig p1 = makeMachineConfig(AsapConfig::p1());
+        const MachineConfig p1p2 = makeMachineConfig(AsapConfig::p1p2());
+
+        for (const bool colocation : {false, true}) {
+            const RunConfig run = defaultRunConfig(colocation);
+            auto &rows = colocation ? coloc : iso;
+            rows.push_back(
+                {spec.name,
+                 {baseline.run(base, run).avgWalkLatency(),
+                  asap.run(p1, run).avgWalkLatency(),
+                  asap.run(p1p2, run).avgWalkLatency()}});
+        }
+        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
+    }
+    iso.push_back(averageRow(iso));
+    coloc.push_back(averageRow(coloc));
+
+    printTable("Figure 8a: native walk latency in isolation (cycles)",
+               {"Baseline", "P1", "P1+P2"}, iso);
+    printTable("Figure 8b: native walk latency under SMT colocation",
+               {"Baseline", "P1", "P1+P2"}, coloc);
+
+    const auto &avgIso = iso.back().second;
+    const auto &avgColoc = coloc.back().second;
+    std::printf("\nASAP reduction (avg): iso P1 %.0f%%, P1+P2 %.0f%% "
+                "(paper 12%%/14%%); coloc P1 %.0f%%, P1+P2 %.0f%% "
+                "(paper 20%%/25%%)\n",
+                reductionPct(avgIso[0], avgIso[1]),
+                reductionPct(avgIso[0], avgIso[2]),
+                reductionPct(avgColoc[0], avgColoc[1]),
+                reductionPct(avgColoc[0], avgColoc[2]));
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Figure 9: the fraction of page walk requests served by
+ * each level of the memory hierarchy (PWC / L1 / L2 / LLC / Mem) for
+ * each PT level, for mcf and redis, in isolation and under colocation.
+ *
+ * Paper shape: PL4/PL3 (and for mcf PL2) nearly always PWC-served;
+ * PL1 dominated by L2/LLC/Mem, shifting down under colocation.
+ */
+
+#include "bench_common.hh"
+
+using namespace asapbench;
+
+namespace
+{
+
+void
+printBreakdown(const char *title, const RunStats &stats)
+{
+    std::printf("\n--- %s ---\n", title);
+    for (unsigned level = 4; level >= 1; --level) {
+        if (stats.levelDist[level].total() == 0)
+            continue;
+        std::printf("  PL%u: %s\n", level,
+                    stats.levelDist[level].format().c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const char *name : {"mcf", "redis"}) {
+        const auto spec = specByName(name);
+        Environment env(*spec);
+        const MachineConfig baseline = makeMachineConfig();
+        printBreakdown(
+            strprintf("Figure 9: %s in isolation", name).c_str(),
+            env.run(baseline, defaultRunConfig(false)));
+        printBreakdown(
+            strprintf("Figure 9: %s under SMT colocation", name).c_str(),
+            env.run(baseline, defaultRunConfig(true)));
+        std::fprintf(stderr, "  %s done\n", name);
+    }
+    return 0;
+}

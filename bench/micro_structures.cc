@@ -1,0 +1,79 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot structures —
+ * not a paper experiment, but keeps the simulator itself honest (the
+ * full benches run hundreds of millions of these operations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/hierarchy.hh"
+#include "os/buddy_allocator.hh"
+#include "tlb/tlb.hh"
+#include "walk/pwc.hh"
+
+using namespace asap;
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemoryHierarchy mem;
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.accessPlain(rng.below(1_GiB)));
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_TlbLookup(benchmark::State &state)
+{
+    TlbHierarchy tlb(TlbHierarchy::Config{});
+    Translation t;
+    t.pfn = 1;
+    t.leafLevel = 1;
+    for (Vpn v = 0; v < 1024; ++v)
+        tlb.fill(v << pageShift, t);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tlb.lookup(rng.below(2048) << pageShift));
+}
+BENCHMARK(BM_TlbLookup);
+
+static void
+BM_PwcLookup(benchmark::State &state)
+{
+    PageWalkCaches pwc;
+    for (unsigned i = 0; i < 32; ++i)
+        pwc.insert(2, static_cast<VirtAddr>(i) << 21, i);
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pwc.lookupDeepest(rng.below(64) << 21));
+}
+BENCHMARK(BM_PwcLookup);
+
+static void
+BM_BuddyAllocFree(benchmark::State &state)
+{
+    BuddyAllocator buddy(1 << 20);
+    for (auto _ : state) {
+        const Pfn f = buddy.allocFrame();
+        buddy.freeFrame(f);
+        benchmark::DoNotOptimize(f);
+    }
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+static void
+BM_ZipfNext(benchmark::State &state)
+{
+    BlockScrambledZipfian zipf(1'000'000, 0.99);
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.next(rng));
+}
+BENCHMARK(BM_ZipfNext);
+
+BENCHMARK_MAIN();

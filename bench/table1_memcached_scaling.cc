@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Table 1: increase in memcached page walk latency under a
+ * 5x larger dataset, SMT colocation, virtualization, and
+ * virtualization + colocation, normalized to native isolated mc80.
+ *
+ * Paper values: 1.2x / 2.7x / 5.3x / 12.0x.
+ */
+
+#include "bench_common.hh"
+
+using namespace asapbench;
+
+int
+main()
+{
+    Environment mc80Native(mc80Spec());
+    EnvironmentOptions virtOptions;
+    virtOptions.virtualized = true;
+    Environment mc80Virt(mc80Spec(), virtOptions);
+    Environment mc400Native(mc400Spec());
+
+    const MachineConfig baseline = makeMachineConfig();
+    const double iso =
+        mc80Native.run(baseline, defaultRunConfig(false)).avgWalkLatency();
+    const double bigger =
+        mc400Native.run(baseline, defaultRunConfig(false))
+            .avgWalkLatency();
+    const double coloc =
+        mc80Native.run(baseline, defaultRunConfig(true)).avgWalkLatency();
+    const double virtIso =
+        mc80Virt.run(baseline, defaultRunConfig(false)).avgWalkLatency();
+    const double virtColoc =
+        mc80Virt.run(baseline, defaultRunConfig(true)).avgWalkLatency();
+
+    printTable(
+        "Table 1: memcached walk-latency scaling "
+        "(normalized to native mc80 in isolation)",
+        {"5x dataset", "SMT coloc", "virt", "virt+SMT"},
+        {{"measured",
+          {bigger / iso, coloc / iso, virtIso / iso, virtColoc / iso}},
+         {"paper", {1.2, 2.7, 5.3, 12.0}}},
+        "%10.2f");
+    std::printf("\nraw cycles: mc80 iso %.1f | mc400 iso %.1f | "
+                "coloc %.1f | virt %.1f | virt+coloc %.1f\n",
+                iso, bigger, coloc, virtIso, virtColoc);
+    return 0;
+}

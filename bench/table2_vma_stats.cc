@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Table 2: per application, the total number of VMAs, the
+ * number of VMAs covering 99% of the footprint, the number of
+ * physically-contiguous regions holding PT nodes under vanilla buddy
+ * placement, and the total PT page count.
+ *
+ * An extra column shows the contiguous-region count under ASAP
+ * placement — the whole point of Section 3.3 (a handful of regions
+ * instead of hundreds/thousands).
+ */
+
+#include "bench_common.hh"
+
+using namespace asapbench;
+
+int
+main()
+{
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+
+    for (const WorkloadSpec &spec : standardSuite()) {
+        Environment baseline(spec);     // buddy PT placement
+        EnvironmentOptions asapOptions;
+        asapOptions.asapPlacement = true;
+        Environment asap(spec, asapOptions);
+
+        const AddressSpace &space = baseline.system().appSpace();
+        rows.push_back(
+            {spec.name,
+             {static_cast<double>(space.vmas().size()),
+              static_cast<double>(space.vmasForFootprintCoverage(0.99)),
+              static_cast<double>(
+                  space.pageTable().countContiguousRegions()),
+              static_cast<double>(space.pageTable().nodeCount()),
+              static_cast<double>(asap.system()
+                                      .appSpace()
+                                      .pageTable()
+                                      .countContiguousRegions())}});
+        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
+    }
+    printTable("Table 2: VMA and page-table layout statistics",
+               {"VMAs", "VMAs(99%)", "contig", "PT pages",
+                "contig-ASAP"},
+               rows, "%10.0f");
+    std::printf("\npaper (buddy contig regions): canneal 487, mcf 626, "
+                "pagerank 2076, bfs 4285,\n"
+                "mc80 1976, mc400 5376, redis 3555 — thousands; ASAP "
+                "collapses them to a handful.\n");
+    return 0;
+}

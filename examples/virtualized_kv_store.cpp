@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scenario example: a memcached-like key-value store running inside a
+ * virtual machine — the configuration where the paper's nested (2D)
+ * page walks hurt most, and where ASAP's guest+host prefetching pays
+ * off (Figure 10).
+ *
+ * Demonstrates: virtualized Systems, guest/host ASAP dimensions, and
+ * the Figure 7 cost structure of nested walks.
+ */
+
+#include <cstdio>
+
+#include "sim/environment.hh"
+#include "workloads/suite.hh"
+
+using namespace asap;
+
+int
+main()
+{
+    // The suite's memcached-80GB stand-in (YCSB-like Zipfian keys).
+    const WorkloadSpec spec = mc80Spec();
+
+    EnvironmentOptions baseOptions;
+    baseOptions.virtualized = true;
+    Environment baseline(spec, baseOptions);
+
+    EnvironmentOptions asapOptions = baseOptions;
+    asapOptions.asapPlacement = true;   // guest PT sorted; hypervisor
+                                        // backs the regions contiguously
+    Environment asap(spec, asapOptions);
+
+    struct Config
+    {
+        const char *name;
+        AsapConfig guest;
+        AsapConfig host;
+    };
+    const Config configs[] = {
+        {"guest P1 only", AsapConfig::p1(), AsapConfig::off()},
+        {"guest P1+P2", AsapConfig::p1p2(), AsapConfig::off()},
+        {"guest+host P1", AsapConfig::p1(), AsapConfig::p1()},
+        {"guest+host P1+P2", AsapConfig::p1p2(), AsapConfig::p1p2()},
+    };
+
+    for (const bool colocation : {false, true}) {
+        const RunConfig run = defaultRunConfig(colocation);
+        const double base =
+            baseline.run(makeMachineConfig(), run).avgWalkLatency();
+        std::printf("\n[%s] baseline nested walk: %.1f cycles\n",
+                    colocation ? "SMT colocation" : "isolation", base);
+        for (const Config &config : configs) {
+            const double latency =
+                asap.run(makeMachineConfig(config.guest, config.host),
+                         run)
+                    .avgWalkLatency();
+            std::printf("  %-18s %7.1f cycles  (-%2.0f%%)\n",
+                        config.name, latency,
+                        100.0 * (1.0 - latency / base));
+        }
+    }
+    std::printf("\npaper Figure 10: guest-only prefetching buys ~13-15%%;"
+                " adding the host\ndimension reaches ~39%% (isolation) /"
+                " ~45%% (colocation).\n");
+    return 0;
+}

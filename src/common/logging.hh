@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal gem5-style logging/termination helpers.
+ *
+ * panic()  - an internal invariant was violated (simulator bug): abort.
+ * fatal()  - the user asked for something unsupported (bad config): exit(1).
+ * warn()   - something questionable happened but simulation continues.
+ * inform() - status message.
+ */
+
+#ifndef ASAP_COMMON_LOGGING_HH
+#define ASAP_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace asap
+{
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Report a recoverable anomaly to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Report a status message to stderr. */
+void informImpl(const std::string &msg);
+
+#define panic(...) \
+    ::asap::panicImpl(__FILE__, __LINE__, ::asap::strprintf(__VA_ARGS__))
+#define fatal(...) \
+    ::asap::fatalImpl(__FILE__, __LINE__, ::asap::strprintf(__VA_ARGS__))
+#define warn(...) ::asap::warnImpl(::asap::strprintf(__VA_ARGS__))
+#define inform(...) ::asap::informImpl(::asap::strprintf(__VA_ARGS__))
+
+/** panic() unless @p cond holds. Cheap enough to keep in release builds. */
+#define panic_if(cond, ...)                     \
+    do {                                        \
+        if (cond)                               \
+            panic(__VA_ARGS__);                 \
+    } while (0)
+
+#define fatal_if(cond, ...)                     \
+    do {                                        \
+        if (cond)                               \
+            fatal(__VA_ARGS__);                 \
+    } while (0)
+
+} // namespace asap
+
+#endif // ASAP_COMMON_LOGGING_HH

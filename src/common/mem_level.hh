@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The levels of the simulated memory hierarchy that can serve a request.
+ *
+ * Figure 9 of the paper breaks page-walk requests down by serving level:
+ * PWC, L1-D, L2, LLC, or main memory. This enum is the shared vocabulary
+ * for that breakdown across the walker, caches, and statistics.
+ */
+
+#ifndef ASAP_COMMON_MEM_LEVEL_HH
+#define ASAP_COMMON_MEM_LEVEL_HH
+
+#include <cstddef>
+
+namespace asap
+{
+
+enum class MemLevel : unsigned
+{
+    Pwc = 0,    ///< served by a page walk cache (walker-only)
+    L1D,        ///< first-level data cache
+    L2,         ///< private second-level cache
+    Llc,        ///< shared last-level cache
+    Dram,       ///< main memory
+    NumLevels
+};
+
+constexpr std::size_t numMemLevels =
+    static_cast<std::size_t>(MemLevel::NumLevels);
+
+/** Short printable name for reports ("PWC", "L1", "L2", "LLC", "Mem"). */
+constexpr const char *
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::Pwc: return "PWC";
+      case MemLevel::L1D: return "L1";
+      case MemLevel::L2: return "L2";
+      case MemLevel::Llc: return "LLC";
+      case MemLevel::Dram: return "Mem";
+      default: return "?";
+    }
+}
+
+} // namespace asap
+
+#endif // ASAP_COMMON_MEM_LEVEL_HH

@@ -1,0 +1,56 @@
+#include "common/rng.hh"
+
+namespace asap
+{
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    panic_if(n == 0, "ZipfianGenerator over empty item set");
+    panic_if(theta <= 0.0 || theta >= 1.0,
+             "Zipfian theta must be in (0,1), got %f", theta);
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+double
+ZipfianGenerator::zeta(std::uint64_t n, double theta)
+{
+    // Direct summation; n is bounded by the number of *items* (pages or
+    // keys), computed once at construction. For very large n we subsample
+    // the tail: the harmonic-like series converges smoothly and the
+    // distribution shape is insensitive to tail truncation error < 0.1%.
+    constexpr std::uint64_t exactLimit = 10'000'000;
+    double sum = 0.0;
+    const std::uint64_t limit = n < exactLimit ? n : exactLimit;
+    for (std::uint64_t i = 1; i <= limit; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    if (n > exactLimit) {
+        // Integral approximation of the truncated tail.
+        const double a = static_cast<double>(exactLimit);
+        const double b = static_cast<double>(n);
+        sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+               (1.0 - theta);
+    }
+    return sum;
+}
+
+std::uint64_t
+ZipfianGenerator::next(Rng &rng) const
+{
+    const double u = rng.real();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+} // namespace asap

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, mean/min/max
+ * accumulators, bucketed histograms and per-MemLevel distributions.
+ *
+ * These deliberately avoid any global registry: each simulator component
+ * owns its stats and the scenario runner aggregates them into reports.
+ */
+
+#ifndef ASAP_COMMON_STATS_HH
+#define ASAP_COMMON_STATS_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/mem_level.hh"
+
+namespace asap
+{
+
+/**
+ * Accumulates samples of a scalar quantity (e.g. page-walk latency) and
+ * exposes count/sum/mean/min/max.
+ */
+class SampleStat
+{
+  public:
+    void
+    sample(std::uint64_t value)
+    {
+        ++count_;
+        sum_ += value;
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0;
+        min_ = std::numeric_limits<std::uint64_t>::max();
+        max_ = 0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Histogram with fixed-width buckets plus an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::uint64_t bucketWidth, std::size_t numBuckets)
+        : bucketWidth_(bucketWidth), buckets_(numBuckets + 1, 0)
+    {}
+
+    void
+    sample(std::uint64_t value)
+    {
+        std::size_t idx = value / bucketWidth_;
+        if (idx >= buckets_.size() - 1)
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
+
+    /** Approximate p-quantile (0 <= q <= 1) from bucket boundaries. */
+    std::uint64_t quantile(double q) const;
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        count_ = 0;
+    }
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Counts events by serving memory level (Fig. 9 semantics).
+ */
+class LevelDistribution
+{
+  public:
+    void
+    record(MemLevel level)
+    {
+        ++counts_[static_cast<std::size_t>(level)];
+        ++total_;
+    }
+
+    std::uint64_t
+    count(MemLevel level) const
+    {
+        return counts_[static_cast<std::size_t>(level)];
+    }
+
+    std::uint64_t total() const { return total_; }
+
+    double
+    fraction(MemLevel level) const
+    {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(count(level)) /
+                                 static_cast<double>(total_);
+    }
+
+    void
+    reset()
+    {
+        counts_.fill(0);
+        total_ = 0;
+    }
+
+    /** "PWC 62.0% L1 20.1% L2 ..." one-line summary. */
+    std::string format() const;
+
+  private:
+    std::array<std::uint64_t, numMemLevels> counts_{};
+    std::uint64_t total_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_COMMON_STATS_HH

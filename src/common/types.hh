@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fundamental address/cycle types and x86-64 paging constants shared by
+ * every module of the ASAP reproduction.
+ *
+ * The conventions follow the Linux/x86 four-level radix page table shown in
+ * Figure 1 of the paper: a 48-bit virtual address is split into four 9-bit
+ * radix indices (PL4..PL1) plus a 12-bit page offset. A fifth level (PL5,
+ * 57-bit VA) is supported for the Section 3.5 extension.
+ */
+
+#ifndef ASAP_COMMON_TYPES_HH
+#define ASAP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace asap
+{
+
+/** A virtual address (guest-virtual under virtualization). */
+using VirtAddr = std::uint64_t;
+
+/**
+ * A physical address. Under virtualization the same type is used for both
+ * guest-physical and host-physical addresses; variable naming (gpa/hpa)
+ * disambiguates at use sites.
+ */
+using PhysAddr = std::uint64_t;
+
+/** A physical frame number (PhysAddr >> pageShift). */
+using Pfn = std::uint64_t;
+
+/** A virtual page number (VirtAddr >> pageShift). */
+using Vpn = std::uint64_t;
+
+/** A simulated latency or timestamp, in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** An invalid/sentinel physical frame number. */
+constexpr Pfn invalidPfn = ~std::uint64_t{0};
+
+/** Base-page geometry (4KB pages). */
+constexpr unsigned pageShift = 12;
+constexpr std::uint64_t pageSize = std::uint64_t{1} << pageShift;
+constexpr std::uint64_t pageOffsetMask = pageSize - 1;
+
+/** Cache-line geometry (64B lines). */
+constexpr unsigned lineShift = 6;
+constexpr std::uint64_t lineSize = std::uint64_t{1} << lineShift;
+
+/** Radix-tree fan-out: 9 index bits, 512 entries per node, 8B entries. */
+constexpr unsigned levelBits = 9;
+constexpr unsigned entriesPerNode = 1u << levelBits;
+constexpr unsigned pteSize = 8;
+
+/** Number of levels in the conventional x86-64 page table. */
+constexpr unsigned numPtLevels = 4;
+
+/** Number of levels with Intel 5-level paging (Section 3.5 extension). */
+constexpr unsigned numPtLevels5 = 5;
+
+/** Span of virtual address space covered by one PTE at a given PT level.
+ *
+ * Level 1 (PL1) entries each map one 4KB page; level 2 (PL2) entries map
+ * 2MB (either via a pointer to a PL1 node or directly as a 2MB large-page
+ * leaf); level 3 maps 1GB, and so on.
+ */
+constexpr unsigned
+levelShift(unsigned level)
+{
+    return pageShift + levelBits * (level - 1);
+}
+
+/** Bytes of VA space one entry at @p level covers (4KB, 2MB, 1GB, ...). */
+constexpr std::uint64_t
+levelSpan(unsigned level)
+{
+    return std::uint64_t{1} << levelShift(level);
+}
+
+/** Bytes of VA space an entire *node* at @p level covers (2MB at PL1). */
+constexpr std::uint64_t
+nodeSpan(unsigned level)
+{
+    return levelSpan(level + 1);
+}
+
+/** Radix index of @p va within the PT node at @p level (0..511). */
+constexpr unsigned
+levelIndex(VirtAddr va, unsigned level)
+{
+    return static_cast<unsigned>((va >> levelShift(level)) &
+                                 (entriesPerNode - 1));
+}
+
+/** The virtual page number containing @p va. */
+constexpr Vpn
+vpnOf(VirtAddr va)
+{
+    return va >> pageShift;
+}
+
+/** The cache-line-aligned address containing @p addr. */
+constexpr std::uint64_t
+lineOf(std::uint64_t addr)
+{
+    return addr & ~(lineSize - 1);
+}
+
+/** Round @p x down to a multiple of @p align (align must be a power of 2). */
+constexpr std::uint64_t
+alignDown(std::uint64_t x, std::uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Round @p x up to a multiple of @p align (align must be a power of 2). */
+constexpr std::uint64_t
+alignUp(std::uint64_t x, std::uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True iff @p x is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2Floor(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x > 1) { x >>= 1; ++r; }
+    return r;
+}
+
+/** Convenience byte-size literals for configuration code. */
+constexpr std::uint64_t operator"" _KiB(unsigned long long v)
+{ return v << 10; }
+constexpr std::uint64_t operator"" _MiB(unsigned long long v)
+{ return v << 20; }
+constexpr std::uint64_t operator"" _GiB(unsigned long long v)
+{ return v << 30; }
+
+} // namespace asap
+
+#endif // ASAP_COMMON_TYPES_HH

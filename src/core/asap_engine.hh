@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The ASAP prefetch engine (paper Sections 3.1 and 3.4).
+ *
+ * Plugged into the page walker as a PrefetchHook: on every walk start
+ * (i.e. every TLB miss) it checks the range registers and, on a hit,
+ * issues best-effort prefetches for the configured deep PT levels
+ * (PL1, PL1+PL2, optionally PL3 with five-level tables). Prefetches go
+ * through the normal memory hierarchy into L1-D; the walker later
+ * consumes them via MSHR merges. The engine never modifies the walker,
+ * the page table, or the TLB — exactly the paper's non-disruptive
+ * contract.
+ */
+
+#ifndef ASAP_CORE_ASAP_ENGINE_HH
+#define ASAP_CORE_ASAP_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/hierarchy.hh"
+#include "core/range_registers.hh"
+#include "walk/walker.hh"
+
+namespace asap
+{
+
+/** Which PT levels an engine prefetches. */
+struct AsapConfig
+{
+    bool enabled = false;
+    std::vector<unsigned> levels;   ///< e.g. {1} = P1, {1,2} = P1+P2
+
+    static AsapConfig off() { return {false, {}}; }
+    static AsapConfig p1() { return {true, {1}}; }
+    static AsapConfig p1p2() { return {true, {1, 2}}; }
+    static AsapConfig p2() { return {true, {2}}; }          // Fig. 12 host
+    static AsapConfig p1p2p3() { return {true, {1, 2, 3}}; } // 5-level
+};
+
+class AsapEngine : public PrefetchHook
+{
+  public:
+    AsapEngine(RangeRegisterFile &registers, MemoryHierarchy &mem,
+               AsapConfig config)
+        : registers_(registers), mem_(mem), config_(std::move(config))
+    {}
+
+    void
+    onWalkStart(VirtAddr va, Cycles now) override
+    {
+        if (!config_.enabled)
+            return;
+        ++triggers_;
+        const VmaDescriptor *descriptor = registers_.lookup(va);
+        if (!descriptor)
+            return;
+        ++rangeHits_;
+        for (const unsigned level : config_.levels) {
+            const LevelDescriptor &ld = descriptor->levels[level];
+            if (!ld.valid)
+                continue;
+            ++attempted_;
+            if (mem_.prefetch(ld.entryAddrOf(va), now))
+                ++issued_;
+        }
+    }
+
+    const AsapConfig &config() const { return config_; }
+    std::uint64_t triggers() const { return triggers_; }
+    std::uint64_t rangeHits() const { return rangeHits_; }
+    std::uint64_t attempted() const { return attempted_; }
+    std::uint64_t issued() const { return issued_; }
+
+  private:
+    RangeRegisterFile &registers_;
+    MemoryHierarchy &mem_;
+    AsapConfig config_;
+
+    std::uint64_t triggers_ = 0;
+    std::uint64_t rangeHits_ = 0;
+    std::uint64_t attempted_ = 0;
+    std::uint64_t issued_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_CORE_ASAP_ENGINE_HH

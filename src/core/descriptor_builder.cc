@@ -1,0 +1,62 @@
+#include "core/descriptor_builder.hh"
+
+#include <algorithm>
+
+namespace asap
+{
+
+std::vector<VmaDescriptor>
+buildVmaDescriptors(const VmaTree &vmas, const AsapPtAllocator &allocator,
+                    const RegionBaseMapper &baseOf)
+{
+    std::vector<const Vma *> candidates;
+    for (const Vma *vma : vmas.all()) {
+        if (vma->prefetchable)
+            candidates.push_back(vma);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Vma *a, const Vma *b) {
+                  return a->touchedPages > b->touchedPages;
+              });
+
+    std::vector<VmaDescriptor> descriptors;
+    for (const Vma *vma : candidates) {
+        VmaDescriptor descriptor;
+        descriptor.start = vma->start;
+        descriptor.end = vma->end;
+        bool any = false;
+        for (unsigned level = 1; level <= 3; ++level) {
+            const AsapPtAllocator::Region *region =
+                allocator.regionFor(vma->start, level);
+            if (!region || region->vmaId != vma->id)
+                continue;
+            const PhysAddr basePa = baseOf(*region);
+            if (basePa == ~PhysAddr{0})
+                continue;   // mapper could not resolve a physical base
+            LevelDescriptor &ld = descriptor.levels[level];
+            ld.valid = true;
+            ld.level = level;
+            ld.vaBase = region->vaBase;
+            ld.basePa = basePa;
+            any = true;
+        }
+        if (any)
+            descriptors.push_back(descriptor);
+    }
+    return descriptors;
+}
+
+unsigned
+installDescriptors(RangeRegisterFile &registers,
+                   const std::vector<VmaDescriptor> &descriptors)
+{
+    unsigned installed = 0;
+    for (const VmaDescriptor &descriptor : descriptors) {
+        if (!registers.install(descriptor))
+            break;
+        ++installed;
+    }
+    return installed;
+}
+
+} // namespace asap

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Builds range-register descriptors from the OS's ASAP PT allocator
+ * state — the model of the OS writing the architectural registers when
+ * scheduling a thread (paper Section 3.4).
+ *
+ * Natively, a region's base physical address is simply its frame run.
+ * Under virtualization the guest's sorted regions live in guest-physical
+ * memory but the prefetcher needs *host*-physical targets; the
+ * hypervisor backs each region contiguously in host memory (Section
+ * 3.6) and the caller supplies the resulting gPA->hPA region bases via
+ * the mapper callback.
+ */
+
+#ifndef ASAP_CORE_DESCRIPTOR_BUILDER_HH
+#define ASAP_CORE_DESCRIPTOR_BUILDER_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/range_registers.hh"
+#include "os/pt_allocators.hh"
+#include "os/vma.hh"
+
+namespace asap
+{
+
+/** Maps a region's frame run to the physical base the hardware should
+ *  prefetch from (identity natively; host backing base under virt). */
+using RegionBaseMapper =
+    std::function<PhysAddr(const AsapPtAllocator::Region &)>;
+
+/** Identity mapper for native execution. */
+inline PhysAddr
+nativeRegionBase(const AsapPtAllocator::Region &region)
+{
+    return static_cast<PhysAddr>(region.basePfn) << pageShift;
+}
+
+/**
+ * Build one descriptor per prefetchable VMA that has at least one valid
+ * region. Descriptors are ordered by VMA footprint (most-touched first)
+ * so that a capacity-limited register file keeps the VMAs that matter
+ * (Table 2: a few VMAs cover 99% of the footprint).
+ */
+std::vector<VmaDescriptor>
+buildVmaDescriptors(const VmaTree &vmas, const AsapPtAllocator &allocator,
+                    const RegionBaseMapper &baseOf = nativeRegionBase);
+
+/** Install as many descriptors as fit into @p registers. @return the
+ *  number installed. */
+unsigned installDescriptors(RangeRegisterFile &registers,
+                            const std::vector<VmaDescriptor> &descriptors);
+
+} // namespace asap
+
+#endif // ASAP_CORE_DESCRIPTOR_BUILDER_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ASAP's architecturally-exposed range registers (paper Section 3.4,
+ * Figure 6).
+ *
+ * Each tracked VMA gets a descriptor: the VMA's [start, end) virtual
+ * range plus, per prefetch-target PT level, the base physical address of
+ * the contiguous sorted region holding that level's nodes. On a TLB
+ * miss the triggering VA is matched against the ranges; on a hit, the
+ * target PT entry's physical address is computed as
+ *     base + ((va - vaBase) >> s) * 8
+ * with s = 9 for PL1 and s = 18 for PL2 (the paper's s1/s2 shifts are
+ * folded with the x8 entry size here: levelShift(L) - 3).
+ *
+ * Descriptors are per-hardware-thread architectural state managed by
+ * the OS on context switches; tracking 8-16 VMAs covers 99% of the
+ * studied footprints (Section 3.2, Table 2).
+ */
+
+#ifndef ASAP_CORE_RANGE_REGISTERS_HH
+#define ASAP_CORE_RANGE_REGISTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace asap
+{
+
+/** Per-level slice of a VMA descriptor. */
+struct LevelDescriptor
+{
+    bool valid = false;
+    unsigned level = 0;
+    VirtAddr vaBase = 0;   ///< VMA start aligned down to nodeSpan(level)
+    PhysAddr basePa = 0;   ///< physical base of the sorted PT region
+
+    /** The base-plus-offset computation of Figure 6. */
+    PhysAddr
+    entryAddrOf(VirtAddr va) const
+    {
+        return basePa + ((va - vaBase) >> levelShift(level)) * pteSize;
+    }
+};
+
+/** One range register set: a tracked VMA and its per-level bases. */
+struct VmaDescriptor
+{
+    VirtAddr start = 0;
+    VirtAddr end = 0;      ///< exclusive
+    std::array<LevelDescriptor, 6> levels{};  ///< indexed by PT level
+
+    bool contains(VirtAddr va) const { return va >= start && va < end; }
+};
+
+/**
+ * The register file: a handful of VMA descriptors with an associative
+ * range lookup.
+ */
+class RangeRegisterFile
+{
+  public:
+    static constexpr unsigned defaultCapacity = 16;
+
+    explicit RangeRegisterFile(unsigned capacity = defaultCapacity)
+        : capacity_(capacity)
+    {}
+
+    /** Install a descriptor; false if all registers are busy. */
+    bool
+    install(const VmaDescriptor &descriptor)
+    {
+        if (descriptors_.size() >= capacity_)
+            return false;
+        descriptors_.push_back(descriptor);
+        return true;
+    }
+
+    /** Match @p va against the tracked ranges. */
+    const VmaDescriptor *
+    lookup(VirtAddr va)
+    {
+        ++lookups_;
+        for (const VmaDescriptor &descriptor : descriptors_) {
+            if (descriptor.contains(va)) {
+                ++hits_;
+                return &descriptor;
+            }
+        }
+        return nullptr;
+    }
+
+    /** OS context switch: drop all descriptors. */
+    void
+    clear()
+    {
+        descriptors_.clear();
+    }
+
+    unsigned capacity() const { return capacity_; }
+    std::size_t size() const { return descriptors_.size(); }
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    unsigned capacity_;
+    std::vector<VmaDescriptor> descriptors_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_CORE_RANGE_REGISTERS_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The three-level cache hierarchy plus main memory, with MSHR-style
+ * completion tracking for ASAP prefetches.
+ *
+ * Latency model (paper Table 5): an access is served by the first level
+ * that holds the line; the configured latency of that level is the total
+ * service latency (L1 4, L2 12, LLC 40, DRAM 191 cycles). Fills propagate
+ * into every level above the serving one (fill-on-miss, non-inclusive).
+ *
+ * ASAP prefetches (paper Section 3.4) re-use the normal access path but
+ * additionally record a *completion time* for the fetched line. When the
+ * page walker later demands that line, the access is merged with the
+ * in-flight fill: it completes at max(now + L1 latency, prefetch done),
+ * which is exactly the "only one access to the memory hierarchy is
+ * exposed" behaviour of the paper.
+ */
+
+#ifndef ASAP_MEM_HIERARCHY_HH
+#define ASAP_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/mem_level.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+
+namespace asap
+{
+
+/** Result of one memory-hierarchy access. */
+struct AccessResult
+{
+    MemLevel servedBy = MemLevel::Dram;  ///< level the line was found in
+    Cycles latency = 0;                  ///< exposed latency of this access
+};
+
+/** Configuration of the full hierarchy (defaults = paper Table 5). */
+struct HierarchyConfig
+{
+    CacheConfig l1d{"L1-D", 32_KiB, 8, 4};
+    CacheConfig l2{"L2", 256_KiB, 8, 12};
+    CacheConfig llc{"LLC", 20_MiB, 20, 40};
+    Cycles memLatency = 191;
+    /** Max outstanding tracked prefetches (L1-D MSHR budget, Section 3.4
+     *  "prefetches are best-effort, not issued if an MSHR is unavailable").
+     */
+    unsigned prefetchMshrs = 16;
+};
+
+/**
+ * L1-D + L2 + LLC + DRAM, shared by the core's data accesses, the page
+ * walker, the co-runner and ASAP prefetches.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &config = {});
+
+    /**
+     * Demand access at simulated time @p now.
+     *
+     * If an ASAP prefetch to the same line is still in flight, the access
+     * is merged with it (MSHR hit) and the exposed latency is the
+     * remaining fill time (but at least the L1 hit latency).
+     */
+    AccessResult access(PhysAddr paddr, Cycles now);
+
+    /**
+     * Access that does not account for prefetch overlap — used by data
+     * accesses and the co-runner, which only exert cache pressure.
+     */
+    AccessResult accessPlain(PhysAddr paddr);
+
+    /**
+     * Issue a best-effort prefetch for the line containing @p paddr at
+     * time @p now (paper Section 3.4). Fills the hierarchy and records
+     * the completion time so a later demand access can overlap with it.
+     *
+     * @return true if the prefetch was issued (MSHR available and the
+     *         line was not already in L1-D).
+     */
+    bool prefetch(PhysAddr paddr, Cycles now);
+
+    /** Drop all cache contents and in-flight prefetch state. */
+    void reset();
+
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &llc() const { return llc_; }
+    const HierarchyConfig &config() const { return config_; }
+
+    std::uint64_t prefetchesIssued() const { return prefetchesIssued_; }
+    std::uint64_t prefetchesDropped() const { return prefetchesDropped_; }
+    std::uint64_t prefetchMerges() const { return prefetchMerges_; }
+
+  private:
+    /** Find the serving level, update LRU there, and fill levels above. */
+    AccessResult lookupAndFill(PhysAddr line);
+
+    /** Drop completed prefetch records to keep the MSHR map small. */
+    void retireCompleted(Cycles now);
+
+    HierarchyConfig config_;
+    Cache l1d_;
+    Cache l2_;
+    Cache llc_;
+
+    /** line address -> absolute completion time of the in-flight fill. */
+    std::unordered_map<std::uint64_t, Cycles> inflight_;
+
+    std::uint64_t prefetchesIssued_ = 0;
+    std::uint64_t prefetchesDropped_ = 0;
+    std::uint64_t prefetchMerges_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_MEM_HIERARCHY_HH

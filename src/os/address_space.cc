@@ -1,0 +1,183 @@
+#include "os/address_space.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace asap
+{
+
+AddressSpace::AddressSpace(BuddyAllocator &frames,
+                           PtNodeAllocator &ptAllocator,
+                           const AddressSpaceConfig &config)
+    : frames_(frames), config_(config), pt_(ptAllocator, config.ptLevels),
+      pinRng_(config.seed), nextMmap_(config.mmapBase)
+{
+    reverseMap_.assign(frames.totalFrames(), noReverse);
+    pinned_.assign(frames.totalFrames(), 0);
+}
+
+void
+AddressSpace::addObserver(VmaObserver *observer)
+{
+    observers_.push_back(observer);
+}
+
+void
+AddressSpace::notifyCreated(const Vma &vma)
+{
+    for (VmaObserver *observer : observers_)
+        observer->onVmaCreated(vma);
+}
+
+VirtAddr
+AddressSpace::pickMmapBase(std::uint64_t bytes)
+{
+    const VirtAddr base = nextMmap_;
+    // 1GiB guard gap keeps VMAs apart even after growth.
+    nextMmap_ = alignUp(base + bytes + 1_GiB, 1_GiB);
+    return base;
+}
+
+std::uint64_t
+AddressSpace::mmap(std::uint64_t bytes, const std::string &name,
+                   bool prefetchable)
+{
+    bytes = alignUp(bytes, pageSize);
+    return mmapAt(pickMmapBase(bytes), bytes, name, prefetchable);
+}
+
+std::uint64_t
+AddressSpace::mmapAt(VirtAddr start, std::uint64_t bytes,
+                     const std::string &name, bool prefetchable)
+{
+    bytes = alignUp(bytes, pageSize);
+    const std::uint64_t id = vmas_.insert(start, start + bytes, name,
+                                          prefetchable);
+    notifyCreated(*vmas_.byId(id));
+    return id;
+}
+
+bool
+AddressSpace::extendVma(std::uint64_t id, std::uint64_t bytes)
+{
+    Vma *vma = vmas_.byId(id);
+    panic_if(!vma, "extendVma: unknown VMA %lu", id);
+    const VirtAddr oldEnd = vma->end;
+    if (!vmas_.grow(id, alignUp(bytes, pageSize)))
+        return false;
+    for (VmaObserver *observer : observers_)
+        observer->onVmaGrown(*vma, oldEnd, this);
+    return true;
+}
+
+AddressSpace::TouchResult
+AddressSpace::touch(VirtAddr va)
+{
+    Vma *vma = vmas_.find(va);
+    panic_if(!vma, "touch outside any VMA: %#lx", va);
+
+    if (auto t = pt_.lookup(va))
+        return {false, *t};
+
+    // Page fault: demand allocation (Section 3.7.1).
+    ++pageFaults_;
+    if (config_.hugePages) {
+        const VirtAddr base = alignDown(va, levelSpan(2));
+        const Pfn block = frames_.allocBlock(levelBits);
+        fatal_if(block == invalidPfn,
+                 "out of physical memory (2MB page for %#lx)", va);
+        pt_.map(base, block, /*leafLevel=*/2);
+        vma->touchedPages += entriesPerNode;
+        touchedPages_ += entriesPerNode;
+    } else {
+        const Pfn frame = frames_.allocFrame();
+        fatal_if(frame == invalidPfn, "out of physical memory for %#lx",
+                 va);
+        pt_.map(va, frame, /*leafLevel=*/1);
+        reverseMap_[frame] = alignDown(va, pageSize);
+        if (config_.pinnedProb > 0.0 && pinRng_.chance(config_.pinnedProb))
+            pinned_[frame] = 1;
+        ++vma->touchedPages;
+        ++touchedPages_;
+    }
+
+    auto t = pt_.lookup(va);
+    panic_if(!t, "mapping vanished for %#lx", va);
+    return {true, *t};
+}
+
+std::optional<Translation>
+AddressSpace::translate(VirtAddr va) const
+{
+    return pt_.lookup(va);
+}
+
+Pfn
+AddressSpace::backRangeContiguous(VirtAddr start, std::uint64_t nPages)
+{
+    panic_if(start & pageOffsetMask, "backRangeContiguous misaligned");
+    const Pfn base = frames_.reserveContiguous(nPages);
+    if (base == invalidPfn)
+        return invalidPfn;
+    for (std::uint64_t i = 0; i < nPages; ++i) {
+        const VirtAddr va = start + i * pageSize;
+        panic_if(pt_.isMapped(va),
+                 "backRangeContiguous over already-mapped %#lx", va);
+        const Pfn frame = base + i;
+        pt_.map(va, frame, 1);
+        pinned_[frame] = 1;     // the run must stay contiguous
+        Vma *vma = vmas_.find(va);
+        if (vma) {
+            ++vma->touchedPages;
+            ++touchedPages_;
+        }
+    }
+    return base;
+}
+
+bool
+AddressSpace::relocateFrame(Pfn pfn)
+{
+    if (pinned_[pfn])
+        return false;
+    const VirtAddr va = reverseMap_[pfn];
+    if (va == noReverse)
+        return false;           // not a movable data page (e.g. PT node)
+    const Pfn newFrame = frames_.allocFrame();
+    if (newFrame == invalidPfn)
+        return false;
+    pt_.map(va, newFrame, 1);   // overwrite the leaf with the new frame
+    reverseMap_[pfn] = noReverse;
+    reverseMap_[newFrame] = va;
+    frames_.freeFrame(pfn);
+    ++relocations_;
+    return true;
+}
+
+std::uint64_t
+AddressSpace::vmasForFootprintCoverage(double coverage) const
+{
+    std::vector<std::uint64_t> touched;
+    std::uint64_t total = 0;
+    for (const Vma *vma : vmas_.all()) {
+        touched.push_back(vma->touchedPages);
+        total += vma->touchedPages;
+    }
+    if (total == 0)
+        return 0;
+    std::sort(touched.begin(), touched.end(), std::greater<>());
+    const auto target = static_cast<std::uint64_t>(
+        coverage * static_cast<double>(total));
+    std::uint64_t covered = 0;
+    std::uint64_t count = 0;
+    for (const std::uint64_t pages : touched) {
+        covered += pages;
+        ++count;
+        if (covered >= target)
+            break;
+    }
+    return count;
+}
+
+} // namespace asap

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A demand-paged process address space: VMAs + lazy PT population.
+ *
+ * Follows the Linux behaviour the paper depends on (Sections 3.2-3.3,
+ * 3.7.1): VMAs are created eagerly by mmap, but data frames and PT nodes
+ * are allocated only on first touch (a page fault). Data frames always
+ * come from the buddy allocator; PT node frames come from the pluggable
+ * PtNodeAllocator so the same address space runs with vanilla or ASAP
+ * page-table placement.
+ *
+ * The address space also implements FrameRelocator: when a reserved PT
+ * region needs to grow over an occupied frame, movable data pages are
+ * migrated elsewhere (remap + frame copy), modeling the paper's
+ * asynchronous background region extension.
+ */
+
+#ifndef ASAP_OS_ADDRESS_SPACE_HH
+#define ASAP_OS_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "os/buddy_allocator.hh"
+#include "os/pt_allocators.hh"
+#include "os/vma.hh"
+#include "pt/page_table.hh"
+
+namespace asap
+{
+
+struct AddressSpaceConfig
+{
+    unsigned ptLevels = numPtLevels;
+    /** Map data with 2MB pages (used for the host under Fig. 12). */
+    bool hugePages = false;
+    /** First mmap base; VMAs are separated by 1GiB guard gaps. */
+    VirtAddr mmapBase = 0x10000000000ull;
+    /** Probability a data page is pinned (unmovable during PT-region
+     *  growth, Section 3.7.2). */
+    double pinnedProb = 0.0;
+    /** Seed for the pinning decisions. */
+    std::uint64_t seed = 42;
+};
+
+class AddressSpace : public FrameRelocator
+{
+  public:
+    AddressSpace(BuddyAllocator &frames, PtNodeAllocator &ptAllocator,
+                 const AddressSpaceConfig &config = {});
+
+    /** Register a VMA lifecycle observer (e.g. the ASAP PT allocator). */
+    void addObserver(VmaObserver *observer);
+
+    /**
+     * Create a VMA of @p bytes (page-rounded). Observers are notified so
+     * that ASAP PT regions can be reserved at creation time.
+     * @return the VMA id.
+     */
+    std::uint64_t mmap(std::uint64_t bytes, const std::string &name,
+                       bool prefetchable = false);
+
+    /** Create a VMA at a fixed address (tests / the host "guest VM"
+     *  mapping which must start at guest-physical 0). */
+    std::uint64_t mmapAt(VirtAddr start, std::uint64_t bytes,
+                         const std::string &name, bool prefetchable = false);
+
+    /** Grow a VMA toward higher addresses (heap brk semantics). */
+    bool extendVma(std::uint64_t id, std::uint64_t bytes);
+
+    struct TouchResult
+    {
+        bool faulted = false;
+        Translation translation;
+    };
+
+    /**
+     * Ensure @p va is mapped (allocating on first touch) and return its
+     * translation. The address must fall inside an existing VMA.
+     */
+    TouchResult touch(VirtAddr va);
+
+    /** Functional translation without faulting. */
+    std::optional<Translation> translate(VirtAddr va) const;
+
+    /**
+     * Back [start, start + nPages * 4KB) with one physically-contiguous
+     * run, pinning it. Used by the hypervisor to guarantee that guest PT
+     * regions are contiguous in *host* physical memory (Section 3.6).
+     * @return the first host frame, or invalidPfn on failure.
+     */
+    Pfn backRangeContiguous(VirtAddr start, std::uint64_t nPages);
+
+    // FrameRelocator
+    bool relocateFrame(Pfn pfn) override;
+
+    PageTable &pageTable() { return pt_; }
+    const PageTable &pageTable() const { return pt_; }
+    VmaTree &vmas() { return vmas_; }
+    const VmaTree &vmas() const { return vmas_; }
+    BuddyAllocator &frames() { return frames_; }
+
+    std::uint64_t pageFaults() const { return pageFaults_; }
+    std::uint64_t touchedPages() const { return touchedPages_; }
+    std::uint64_t relocations() const { return relocations_; }
+
+    /** Smallest number of VMAs covering @p coverage of the touched
+     *  footprint (Table 2, coverage = 0.99). */
+    std::uint64_t vmasForFootprintCoverage(double coverage) const;
+
+  private:
+    VirtAddr pickMmapBase(std::uint64_t bytes);
+    void notifyCreated(const Vma &vma);
+
+    BuddyAllocator &frames_;
+    AddressSpaceConfig config_;
+    PageTable pt_;
+    VmaTree vmas_;
+    std::vector<VmaObserver *> observers_;
+
+    /**
+     * data frame -> base VA of the page mapped there (movable pages).
+     * Dense array indexed by frame number: footprints run into millions
+     * of pages and a hash map would dominate the simulator's memory.
+     */
+    std::vector<VirtAddr> reverseMap_;
+    std::vector<std::uint8_t> pinned_;
+
+    static constexpr VirtAddr noReverse = ~VirtAddr{0};
+
+    Rng pinRng_;
+    VirtAddr nextMmap_;
+    std::uint64_t pageFaults_ = 0;
+    std::uint64_t touchedPages_ = 0;
+    std::uint64_t relocations_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_OS_ADDRESS_SPACE_HH

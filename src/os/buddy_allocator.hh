@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A binary buddy allocator modeling the Linux physical-page allocator.
+ *
+ * The paper's key observation (Section 3.3) is that the buddy allocator
+ * "optimizes for allocation speed, allocating pages on demand in first
+ * available slots", so page-table node frames end up scattered and
+ * uncorrelated with the virtual pages they map. This model reproduces
+ * that mechanically: demand paging interleaves data-frame and PT-frame
+ * allocations, and an optional churn pass emulates a long-running
+ * multi-tenant machine whose free lists are fragmented.
+ *
+ * The ASAP OS extension additionally needs two primitives:
+ *  - reserveContiguous(n): a contiguous run for a per-VMA PT region;
+ *  - reserveRange(start, n): in-place extension of an existing region
+ *    when the VMA grows (Section 3.7.2) — succeeds only if the frames
+ *    adjacent to the region are free.
+ */
+
+#ifndef ASAP_OS_BUDDY_ALLOCATOR_HH
+#define ASAP_OS_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace asap
+{
+
+class BuddyAllocator
+{
+  public:
+    static constexpr unsigned defaultMaxOrder = 18;  ///< 1GB blocks
+
+    /**
+     * @param totalFrames physical memory size in 4KB frames.
+     * @param maxOrder    largest block order managed (2^maxOrder frames).
+     */
+    explicit BuddyAllocator(std::uint64_t totalFrames,
+                            unsigned maxOrder = defaultMaxOrder);
+
+    /** Allocate a 2^order-frame aligned block; invalidPfn on failure. */
+    Pfn allocBlock(unsigned order);
+
+    /** Free a block previously returned by allocBlock/reserve*. */
+    void freeBlock(Pfn pfn, unsigned order);
+
+    /** Single-frame convenience wrappers. */
+    Pfn allocFrame() { return allocBlock(0); }
+    void freeFrame(Pfn pfn) { freeBlock(pfn, 0); }
+
+    /**
+     * Reserve @p nFrames physically-contiguous frames (not necessarily a
+     * power of two). Used by the ASAP PT allocator for per-VMA PT-level
+     * regions. @return the first frame, or invalidPfn if no sufficiently
+     * large block exists (fragmentation).
+     */
+    Pfn reserveContiguous(std::uint64_t nFrames);
+
+    /**
+     * Reserve the *specific* frame range [start, start+n) if every frame
+     * in it is currently free. Models in-place extension of a reserved PT
+     * region when its VMA grows. @return true on success.
+     */
+    bool reserveRange(Pfn start, std::uint64_t nFrames);
+
+    /** Free an arbitrary (non-power-of-two) contiguous run. */
+    void freeRange(Pfn start, std::uint64_t nFrames);
+
+    /** True iff @p pfn is currently free. */
+    bool isFree(Pfn pfn) const;
+
+    /**
+     * Fragment the allocator by performing @p ops random allocations of
+     * random orders up to @p maxChurnOrder, keeping roughly
+     * @p holdFraction of them live forever (long-lived co-tenant data).
+     * Models a machine that has been up for a while (Section 2.5:
+     * "contiguity characteristics can vary greatly across runs").
+     */
+    void churn(Rng &rng, std::uint64_t ops, unsigned maxChurnOrder = 4,
+               double holdFraction = 0.5);
+
+    std::uint64_t totalFrames() const { return totalFrames_; }
+    std::uint64_t freeFrames() const { return freeFrames_; }
+    std::uint64_t allocatedFrames() const
+    { return totalFrames_ - freeFrames_; }
+
+    /** Order of the largest free block (fragmentation diagnostic). */
+    int largestFreeOrder() const;
+
+    /** Internal consistency check (tests): bitmap matches free sets. */
+    bool checkConsistency() const;
+
+  private:
+    void pushFree(Pfn pfn, unsigned order);
+    void eraseFree(Pfn pfn, unsigned order);
+    /** Pop one valid block start from the order's stack; invalidPfn if
+     *  empty. */
+    Pfn popFree(unsigned order);
+    void markFrames(Pfn start, std::uint64_t count, bool free);
+    /**
+     * Find the free block containing @p pfn; returns its order or -1.
+     * @p blockStart receives the block's first frame.
+     */
+    int findFreeBlockContaining(Pfn pfn, Pfn &blockStart) const;
+    /**
+     * Re-insert the parts of free block [blockStart, +2^order) that fall
+     * outside [lo, hi) back into the free structures.
+     */
+    void carve(Pfn blockStart, unsigned order, Pfn lo, Pfn hi);
+
+    std::uint64_t totalFrames_;
+    unsigned maxOrder_;
+    std::uint64_t freeFrames_ = 0;
+
+    /** LIFO stacks (may contain stale entries) + authoritative sets. */
+    std::vector<std::vector<Pfn>> freeStacks_;
+    std::vector<std::unordered_set<Pfn>> freeSets_;
+
+    /** Per-frame free flag; authoritative for range queries. */
+    std::vector<std::uint8_t> freeBitmap_;
+
+    /** Blocks held live by churn() (never freed). */
+    std::vector<std::pair<Pfn, unsigned>> churnHeld_;
+};
+
+} // namespace asap
+
+#endif // ASAP_OS_BUDDY_ALLOCATOR_HH

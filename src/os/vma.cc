@@ -1,0 +1,109 @@
+#include "os/vma.hh"
+
+#include "common/logging.hh"
+
+namespace asap
+{
+
+std::uint64_t
+VmaTree::insert(VirtAddr start, VirtAddr end, const std::string &name,
+                bool prefetchable)
+{
+    panic_if(start >= end, "VMA with non-positive size: [%#lx, %#lx)",
+             start, end);
+    panic_if((start & pageOffsetMask) || (end & pageOffsetMask),
+             "VMA not page aligned: [%#lx, %#lx)", start, end);
+
+    // Overlap check against neighbors.
+    auto next = byStart_.lower_bound(start);
+    if (next != byStart_.end())
+        panic_if(end > next->second.start, "VMA overlap with %s",
+                 next->second.name.c_str());
+    if (next != byStart_.begin()) {
+        auto prev = std::prev(next);
+        panic_if(prev->second.end > start, "VMA overlap with %s",
+                 prev->second.name.c_str());
+    }
+
+    Vma vma;
+    vma.id = nextId_++;
+    vma.start = start;
+    vma.end = end;
+    vma.name = name;
+    vma.prefetchable = prefetchable;
+    byStart_.emplace(start, vma);
+    return vma.id;
+}
+
+const Vma *
+VmaTree::find(VirtAddr va) const
+{
+    auto it = byStart_.upper_bound(va);
+    if (it == byStart_.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(va) ? &it->second : nullptr;
+}
+
+Vma *
+VmaTree::find(VirtAddr va)
+{
+    return const_cast<Vma *>(
+        static_cast<const VmaTree *>(this)->find(va));
+}
+
+const Vma *
+VmaTree::byId(std::uint64_t id) const
+{
+    for (const auto &kv : byStart_) {
+        if (kv.second.id == id)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+Vma *
+VmaTree::byId(std::uint64_t id)
+{
+    return const_cast<Vma *>(
+        static_cast<const VmaTree *>(this)->byId(id));
+}
+
+bool
+VmaTree::grow(std::uint64_t id, std::uint64_t bytes)
+{
+    panic_if(bytes & pageOffsetMask, "VMA growth not page aligned");
+    Vma *vma = byId(id);
+    panic_if(!vma, "grow: unknown VMA id %lu", id);
+    auto it = byStart_.find(vma->start);
+    auto next = std::next(it);
+    const VirtAddr newEnd = vma->end + bytes;
+    if (next != byStart_.end() && newEnd > next->second.start)
+        return false;
+    vma->end = newEnd;
+    return true;
+}
+
+void
+VmaTree::remove(std::uint64_t id)
+{
+    for (auto it = byStart_.begin(); it != byStart_.end(); ++it) {
+        if (it->second.id == id) {
+            byStart_.erase(it);
+            return;
+        }
+    }
+    panic("remove: unknown VMA id %lu", id);
+}
+
+std::vector<const Vma *>
+VmaTree::all() const
+{
+    std::vector<const Vma *> out;
+    out.reserve(byStart_.size());
+    for (const auto &kv : byStart_)
+        out.push_back(&kv.second);
+    return out;
+}
+
+} // namespace asap

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Virtual Memory Areas and the per-process VMA tree (paper Section 3.2).
+ *
+ * Mirrors the Linux vm_area_struct / VMA rb-tree at the granularity the
+ * paper cares about: non-overlapping [start, end) ranges, a name, a
+ * "prefetchable" flag marking the VMAs tracked by ASAP range registers,
+ * and growth in a pre-determined direction (heap brk/sbrk semantics,
+ * Section 3.7.2).
+ */
+
+#ifndef ASAP_OS_VMA_HH
+#define ASAP_OS_VMA_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace asap
+{
+
+struct Vma
+{
+    std::uint64_t id = 0;
+    VirtAddr start = 0;
+    VirtAddr end = 0;           ///< exclusive
+    std::string name;
+    /** VMAs holding the application dataset are ASAP prefetch targets. */
+    bool prefetchable = false;
+
+    /** Demand-paging statistics (Table 2 "footprint coverage"). */
+    std::uint64_t touchedPages = 0;
+
+    std::uint64_t sizeBytes() const { return end - start; }
+    std::uint64_t numPages() const { return sizeBytes() >> pageShift; }
+    bool contains(VirtAddr va) const { return va >= start && va < end; }
+};
+
+/**
+ * Sorted, non-overlapping collection of VMAs with point lookup.
+ */
+class VmaTree
+{
+  public:
+    /** Insert a new VMA; ranges must not overlap. @return its id. */
+    std::uint64_t insert(VirtAddr start, VirtAddr end,
+                         const std::string &name, bool prefetchable);
+
+    /** VMA containing @p va, or nullptr. */
+    const Vma *find(VirtAddr va) const;
+    Vma *find(VirtAddr va);
+
+    /** VMA by id, or nullptr. */
+    const Vma *byId(std::uint64_t id) const;
+    Vma *byId(std::uint64_t id);
+
+    /**
+     * Grow a VMA toward higher addresses (heap brk semantics).
+     * Fails (returns false) if the extension would overlap a neighbor.
+     */
+    bool grow(std::uint64_t id, std::uint64_t bytes);
+
+    /** Remove a VMA (munmap of the whole area). */
+    void remove(std::uint64_t id);
+
+    std::size_t size() const { return byStart_.size(); }
+
+    /** All VMAs in address order. */
+    std::vector<const Vma *> all() const;
+
+  private:
+    std::map<VirtAddr, Vma> byStart_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace asap
+
+#endif // ASAP_OS_VMA_HH

@@ -1,0 +1,191 @@
+#include "pt/page_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace asap
+{
+
+PageTable::PageTable(PtNodeAllocator &allocator, unsigned levels)
+    : allocator_(allocator), levels_(levels)
+{
+    fatal_if(levels != 4 && levels != 5,
+             "PageTable supports 4 or 5 levels, got %u", levels);
+    // The root node always exists (a process has a CR3 from birth).
+    rootPfn_ = createNode(levels_, 0);
+}
+
+PageTable::~PageTable()
+{
+    for (auto &kv : nodes_)
+        allocator_.freeNodeFrame(kv.second->level, kv.first);
+}
+
+PtNode *
+PageTable::getNode(Pfn pfn)
+{
+    auto it = nodes_.find(pfn);
+    return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const PtNode *
+PageTable::node(Pfn pfn) const
+{
+    auto it = nodes_.find(pfn);
+    return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+Pfn
+PageTable::createNode(unsigned level, VirtAddr va)
+{
+    const Pfn pfn = allocator_.allocNodeFrame(level, va);
+    panic_if(pfn == invalidPfn, "PT node allocation failed at level %u",
+             level);
+    panic_if(nodes_.count(pfn),
+             "PT node frame %#lx allocated twice", pfn);
+    auto node = std::make_unique<PtNode>();
+    node->level = level;
+    nodes_.emplace(pfn, std::move(node));
+    return pfn;
+}
+
+void
+PageTable::map(VirtAddr va, Pfn pfn, unsigned leafLevel)
+{
+    panic_if(leafLevel < 1 || leafLevel > 3,
+             "unsupported leaf level %u", leafLevel);
+    Pfn nodePfn = rootPfn_;
+    for (unsigned level = levels_; level > leafLevel; --level) {
+        PtNode *node = getNode(nodePfn);
+        panic_if(!node, "missing PT node %#lx", nodePfn);
+        Pte &entry = node->entries[levelIndex(va, level)];
+        if (!entry.present()) {
+            const Pfn child = createNode(level - 1, va);
+            entry = Pte::make(child);
+            ++node->populated;
+        }
+        panic_if(entry.huge(),
+                 "mapping %#lx under an existing %u-level huge leaf",
+                 va, level);
+        nodePfn = entry.pfn();
+    }
+    PtNode *leafNode = getNode(nodePfn);
+    panic_if(!leafNode, "missing leaf PT node %#lx", nodePfn);
+    Pte &leaf = leafNode->entries[levelIndex(va, leafLevel)];
+    if (!leaf.present())
+        ++leafNode->populated;
+    leaf = Pte::make(pfn, /*huge=*/leafLevel > 1);
+}
+
+void
+PageTable::unmap(VirtAddr va)
+{
+    Pfn nodePfn = rootPfn_;
+    for (unsigned level = levels_; level >= 1; --level) {
+        PtNode *node = getNode(nodePfn);
+        if (!node)
+            return;
+        Pte &entry = node->entries[levelIndex(va, level)];
+        if (!entry.present())
+            return;
+        if (entry.isLeaf(level)) {
+            entry.clear();
+            --node->populated;
+            return;
+        }
+        nodePfn = entry.pfn();
+    }
+}
+
+std::optional<Translation>
+PageTable::lookup(VirtAddr va) const
+{
+    Pfn nodePfn = rootPfn_;
+    for (unsigned level = levels_; level >= 1; --level) {
+        const PtNode *n = node(nodePfn);
+        if (!n)
+            return std::nullopt;
+        const Pte entry = n->entries[levelIndex(va, level)];
+        if (!entry.present())
+            return std::nullopt;
+        if (entry.isLeaf(level)) {
+            Translation t;
+            t.pfn = entry.pfn();
+            t.leafLevel = level;
+            t.pteAddr = entryPhysAddr(nodePfn, va, level);
+            return t;
+        }
+        nodePfn = entry.pfn();
+    }
+    return std::nullopt;
+}
+
+Pte
+PageTable::readEntry(Pfn nodePfn, VirtAddr va, unsigned level) const
+{
+    const PtNode *n = node(nodePfn);
+    panic_if(!n, "readEntry on non-PT frame %#lx", nodePfn);
+    panic_if(n->level != level,
+             "readEntry level mismatch: node %u, asked %u", n->level, level);
+    return n->entries[levelIndex(va, level)];
+}
+
+void
+PageTable::setAccessed(VirtAddr va, bool dirty)
+{
+    Pfn nodePfn = rootPfn_;
+    for (unsigned level = levels_; level >= 1; --level) {
+        PtNode *n = getNode(nodePfn);
+        if (!n)
+            return;
+        Pte &entry = n->entries[levelIndex(va, level)];
+        if (!entry.present())
+            return;
+        if (entry.isLeaf(level)) {
+            entry.setAccessed();
+            if (dirty)
+                entry.setDirty();
+            return;
+        }
+        nodePfn = entry.pfn();
+    }
+}
+
+std::uint64_t
+PageTable::nodeCountAtLevel(unsigned level) const
+{
+    std::uint64_t count = 0;
+    for (const auto &kv : nodes_) {
+        if (kv.second->level == level)
+            ++count;
+    }
+    return count;
+}
+
+std::vector<Pfn>
+PageTable::nodePfns() const
+{
+    std::vector<Pfn> pfns;
+    pfns.reserve(nodes_.size());
+    for (const auto &kv : nodes_)
+        pfns.push_back(kv.first);
+    std::sort(pfns.begin(), pfns.end());
+    return pfns;
+}
+
+std::uint64_t
+PageTable::countContiguousRegions() const
+{
+    const std::vector<Pfn> pfns = nodePfns();
+    if (pfns.empty())
+        return 0;
+    std::uint64_t regions = 1;
+    for (std::size_t i = 1; i < pfns.size(); ++i) {
+        if (pfns[i] != pfns[i - 1] + 1)
+            ++regions;
+    }
+    return regions;
+}
+
+} // namespace asap

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The radix-tree page table (paper Figure 1), supporting the conventional
+ * four-level x86-64 layout, the five-level extension (Section 3.5), and
+ * 2MB/1GB large-page leaves.
+ *
+ * The table is stored exactly the way a hardware walker sees it: nodes are
+ * 4KB frames of 512 eight-byte entries, addressed by physical frame number.
+ * Where those frames *live* is decided by a pluggable PtNodeAllocator —
+ * the vanilla Linux buddy placement and the ASAP contiguous/sorted
+ * placement are both implemented in src/os.
+ */
+
+#ifndef ASAP_PT_PAGE_TABLE_HH
+#define ASAP_PT_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "pt/pte.hh"
+
+namespace asap
+{
+
+/**
+ * Placement policy for page-table node frames.
+ *
+ * The allocator decides the physical frame a new PT node occupies. The
+ * buddy-backed implementation scatters nodes (interleaved with data-frame
+ * allocations, as the Linux buddy allocator does); the ASAP implementation
+ * hands out frames from per-VMA contiguous regions sorted by virtual
+ * address (paper Section 3.3).
+ */
+class PtNodeAllocator
+{
+  public:
+    virtual ~PtNodeAllocator() = default;
+
+    /**
+     * Allocate a frame for the PT node at @p level covering @p va.
+     * @param level PT level of the *node* being created (1 = leaf node).
+     * @param va    any virtual address inside the node's span.
+     */
+    virtual Pfn allocNodeFrame(unsigned level, VirtAddr va) = 0;
+
+    /** Release a node frame (VMA teardown). */
+    virtual void freeNodeFrame(unsigned level, Pfn pfn) = 0;
+};
+
+/** One 4KB page-table node: 512 PTEs. */
+struct PtNode
+{
+    unsigned level = 1;
+    std::array<Pte, entriesPerNode> entries{};
+    unsigned populated = 0;     ///< number of present entries
+};
+
+/** Result of a functional translation. */
+struct Translation
+{
+    Pfn pfn = invalidPfn;       ///< frame of the (base-)page
+    unsigned leafLevel = 1;     ///< 1 = 4KB, 2 = 2MB, 3 = 1GB
+    PhysAddr pteAddr = 0;       ///< physical address of the leaf entry
+
+    /** Physical address for @p va given this translation. */
+    PhysAddr
+    physAddrOf(VirtAddr va) const
+    {
+        const std::uint64_t span = levelSpan(leafLevel);
+        return (pfn << pageShift) + (va & (span - 1));
+    }
+};
+
+/**
+ * A process (or nested/host) page table.
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param allocator placement policy for node frames (not owned).
+     * @param levels    4 (default) or 5 (Section 3.5 extension).
+     */
+    PageTable(PtNodeAllocator &allocator, unsigned levels = numPtLevels);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Install the mapping va -> pfn with a leaf at @p leafLevel
+     * (1 = 4KB page, 2 = 2MB page, 3 = 1GB page), creating intermediate
+     * nodes on demand. Mirrors the OS page-fault handler populating the
+     * table lazily (paper Section 3.7.1).
+     */
+    void map(VirtAddr va, Pfn pfn, unsigned leafLevel = 1);
+
+    /** Remove a mapping; intermediate nodes are retained (as in Linux). */
+    void unmap(VirtAddr va);
+
+    /** Functional lookup, no latency modeling. */
+    std::optional<Translation> lookup(VirtAddr va) const;
+
+    /** True iff @p va currently has a present leaf mapping. */
+    bool isMapped(VirtAddr va) const { return lookup(va).has_value(); }
+
+    /** Frame number of the root node (the CR3 contents). */
+    Pfn rootPfn() const { return rootPfn_; }
+
+    /** Number of radix levels (4 or 5). */
+    unsigned levels() const { return levels_; }
+
+    /** Node lookup by frame number; nullptr if @p pfn is not a PT node. */
+    const PtNode *node(Pfn pfn) const;
+
+    /** Physical address of the entry for @p va inside node @p nodePfn. */
+    static PhysAddr
+    entryPhysAddr(Pfn nodePfn, VirtAddr va, unsigned level)
+    {
+        return (nodePfn << pageShift) + levelIndex(va, level) * pteSize;
+    }
+
+    /** Read the entry for @p va in the node at @p nodePfn / @p level. */
+    Pte readEntry(Pfn nodePfn, VirtAddr va, unsigned level) const;
+
+    /** Mark the leaf entry accessed/dirty (OS metadata path). */
+    void setAccessed(VirtAddr va, bool dirty = false);
+
+    /** Total number of PT node pages (Table 2 "PT page count"). */
+    std::uint64_t nodeCount() const { return nodes_.size(); }
+
+    /** Node pages at one level. */
+    std::uint64_t nodeCountAtLevel(unsigned level) const;
+
+    /**
+     * Number of maximal runs of physically-contiguous PT node frames
+     * (Table 2 "Contig. phys. regions"). A perfectly ASAP-ordered table
+     * has one run per (VMA, level); a buddy-scattered one has thousands.
+     */
+    std::uint64_t countContiguousRegions() const;
+
+    /** All node frame numbers, ascending (tests / diagnostics). */
+    std::vector<Pfn> nodePfns() const;
+
+  private:
+    PtNode *getNode(Pfn pfn);
+    Pfn createNode(unsigned level, VirtAddr va);
+
+    PtNodeAllocator &allocator_;
+    unsigned levels_;
+    Pfn rootPfn_ = invalidPfn;
+    std::unordered_map<Pfn, std::unique_ptr<PtNode>> nodes_;
+};
+
+} // namespace asap
+
+#endif // ASAP_PT_PAGE_TABLE_HH

@@ -1,0 +1,80 @@
+#include "sim/environment.hh"
+
+#include <cstdlib>
+
+namespace asap
+{
+
+SystemConfig
+makeSystemConfig(const WorkloadSpec &spec,
+                 const EnvironmentOptions &options)
+{
+    SystemConfig config;
+    config.asapPlacement = options.asapPlacement;
+    config.asapLevels = options.asapLevels;
+    config.virtualized = options.virtualized;
+    config.hostHugePages = options.hostHugePages;
+    config.ptLevels = options.ptLevels;
+    config.hostPtLevels = options.hostPtLevels;
+    config.machineMemBytes = spec.machineMemBytes;
+    config.guestMemBytes = spec.guestMemBytes;
+    config.churnOps = spec.churnOps;
+    config.guestChurnOps = spec.guestChurnOps;
+    config.churnMaxOrder = spec.churnMaxOrder;
+    config.pinnedProb = options.pinnedProb;
+    config.holeFraction = options.holeFraction;
+    config.seed = options.seed;
+    return config;
+}
+
+Environment::Environment(const WorkloadSpec &spec,
+                         const EnvironmentOptions &options)
+    : spec_(applyQuickMode(spec)), options_(options)
+{
+    system_ = std::make_unique<System>(makeSystemConfig(spec_, options_));
+    workload_ = makeWorkload(spec_);
+    workload_->setup(*system_);
+}
+
+RunStats
+Environment::run(const MachineConfig &machineConfig,
+                 const RunConfig &runConfig)
+{
+    Machine machine(*system_, machineConfig);
+    Simulator simulator(*system_, machine, *workload_);
+    return simulator.run(runConfig);
+}
+
+MachineConfig
+makeMachineConfig(AsapConfig appAsap, AsapConfig hostAsap)
+{
+    MachineConfig config;     // defaults are the Table 5 parameters
+    config.appAsap = std::move(appAsap);
+    config.hostAsap = std::move(hostAsap);
+    return config;
+}
+
+RunConfig
+defaultRunConfig(bool colocation, std::uint64_t seed)
+{
+    RunConfig config;
+    config.colocation = colocation;
+    // The co-runner is a pure memory-bound SMT thread; while the app
+    // spends compute cycles and cache-hit latency between its memory
+    // accesses, the co-runner keeps issuing. Three co-runner accesses
+    // per app access reproduces the cache-contention regime of the
+    // paper's "memory-intensive co-runner".
+    config.corunnerPerAccess = 3;
+    config.seed = seed;
+    const char *quick = std::getenv("ASAP_QUICK");
+    if (quick && quick[0] != '\0' && quick[0] != '0') {
+        config.warmupAccesses = 30'000;
+        config.measureAccesses = 120'000;
+    } else {
+        config.warmupAccesses = 150'000;
+        config.measureAccesses = 600'000;
+    }
+    return config;
+}
+
+} // namespace asap

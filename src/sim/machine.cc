@@ -1,0 +1,104 @@
+#include "sim/machine.hh"
+
+#include "common/logging.hh"
+#include "core/descriptor_builder.hh"
+
+namespace asap
+{
+
+Machine::Machine(System &system, const MachineConfig &config)
+    : system_(system), config_(config), mem_(config.mem),
+      tlb_(config.tlb),
+      appPwc_(config.pwc.scaled(config.pwcScale),
+              system.config().ptLevels),
+      appRegisters_(config.rangeRegisters),
+      hostRegisters_(config.rangeRegisters)
+{
+    if (config_.appAsap.enabled)
+        appEngine_ = std::make_unique<AsapEngine>(appRegisters_, mem_,
+                                                  config_.appAsap);
+
+    if (!system_.virtualized()) {
+        nativeWalker_ = std::make_unique<PageWalker>(
+            system_.appPt(), mem_, appPwc_, appEngine_.get());
+    } else {
+        if (config_.hostAsap.enabled)
+            hostEngine_ = std::make_unique<AsapEngine>(hostRegisters_,
+                                                       mem_,
+                                                       config_.hostAsap);
+        hostPwc_.emplace(config_.pwc.scaled(config_.pwcScale),
+                         system_.config().hostPtLevels);
+        hostWalker_ = std::make_unique<PageWalker>(
+            system_.hostPt(), mem_, *hostPwc_, hostEngine_.get());
+        nestedWalker_ = std::make_unique<NestedWalker>(
+            system_.appPt(), appPwc_, *hostWalker_, mem_, system_,
+            appEngine_.get());
+    }
+
+    refreshDescriptors();
+}
+
+void
+Machine::refreshDescriptors()
+{
+    appRegisters_.clear();
+    installDescriptors(appRegisters_, system_.appDescriptors());
+    hostRegisters_.clear();
+    if (system_.virtualized())
+        installDescriptors(hostRegisters_, system_.hostDescriptors());
+}
+
+Machine::TranslateResult
+Machine::translate(VirtAddr va, Cycles now)
+{
+    TranslateResult out;
+    const TlbHierarchy::Result tlbRes = tlb_.lookup(va);
+    if (tlbRes.hit()) {
+        out.tlbLevel = tlbRes.level;
+        out.translation = tlbRes.translation;
+        return out;
+    }
+
+    out.walked = true;
+    if (!system_.virtualized()) {
+        WalkResult walk = nativeWalker_->walk(va, now);
+        if (walk.fault) {
+            // The OS services the fault; the walker then replays. The
+            // (microsecond-scale) software fault cost is excluded from
+            // walk-latency statistics, as in the paper's methodology.
+            out.faulted = true;
+            ++faultsServiced_;
+            system_.touch(va);
+            walk = nativeWalker_->walk(va, now);
+            panic_if(walk.fault, "fault persists after OS service");
+        }
+        out.walkLatency = walk.latency;
+        out.translation = walk.translation;
+        out.servedBy = walk.servedBy;
+        out.requested = walk.requested;
+        tlb_.fill(va, walk.translation, &system_.appPt());
+    } else {
+        NestedWalkResult walk = nestedWalker_->walk(va, now);
+        if (walk.fault) {
+            out.faulted = true;
+            ++faultsServiced_;
+            system_.touch(va);
+            walk = nestedWalker_->walk(va, now);
+            panic_if(walk.fault, "nested fault persists after service");
+        }
+        out.walkLatency = walk.latency;
+        out.translation = walk.translation;
+        tlb_.fill(va, walk.translation, nullptr);
+    }
+    return out;
+}
+
+std::uint64_t
+Machine::walks() const
+{
+    if (nativeWalker_)
+        return nativeWalker_->walks();
+    return nestedWalker_ ? nestedWalker_->walks() : 0;
+}
+
+} // namespace asap

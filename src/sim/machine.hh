@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The microarchitectural side of a simulated machine: cache hierarchy,
+ * two-level TLBs, split PWCs (per dimension under virtualization), the
+ * page walker(s) and the ASAP engines, wired to a System.
+ *
+ * A Machine is constructed per experimental configuration (e.g. P1 vs
+ * P1+P2) over a shared System, so the expensive OS-side state (page
+ * tables, prefaulted footprints) is built once per placement policy.
+ */
+
+#ifndef ASAP_SIM_MACHINE_HH
+#define ASAP_SIM_MACHINE_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "common/types.hh"
+#include "core/asap_engine.hh"
+#include "core/range_registers.hh"
+#include "mem/hierarchy.hh"
+#include "sim/system.hh"
+#include "tlb/tlb.hh"
+#include "walk/nested_walker.hh"
+#include "walk/pwc.hh"
+#include "walk/walker.hh"
+
+namespace asap
+{
+
+struct MachineConfig
+{
+    HierarchyConfig mem;
+    TlbHierarchy::Config tlb;
+    PwcConfig pwc;
+    /** PWC capacity multiplier (ablation A1). */
+    unsigned pwcScale = 1;
+
+    /** ASAP in the application (native) / guest (virtualized) dimension. */
+    AsapConfig appAsap = AsapConfig::off();
+    /** ASAP in the host dimension (virtualized systems only). */
+    AsapConfig hostAsap = AsapConfig::off();
+
+    unsigned rangeRegisters = RangeRegisterFile::defaultCapacity;
+};
+
+class Machine
+{
+  public:
+    Machine(System &system, const MachineConfig &config);
+
+    /** Outcome of one address translation. */
+    struct TranslateResult
+    {
+        TlbHitLevel tlbLevel = TlbHitLevel::Miss;
+        bool walked = false;
+        bool faulted = false;
+        Cycles walkLatency = 0;
+        Translation translation;
+        /** Per-PT-level serving breakdown (1D walks only; Figure 9). */
+        std::array<MemLevel, 6> servedBy{};
+        std::array<bool, 6> requested{};
+    };
+
+    /**
+     * Translate @p va at time @p now: TLB lookup, and on a miss a full
+     * (possibly nested) page walk with ASAP prefetching if configured.
+     * Page faults are serviced by the System and the walk is replayed.
+     */
+    TranslateResult translate(VirtAddr va, Cycles now);
+
+    /** A demand data access (cache pressure + latency, no TLB). */
+    Cycles
+    dataAccess(PhysAddr pa)
+    {
+        return mem_.accessPlain(pa).latency;
+    }
+
+    /** One co-runner access: a random line in machine memory
+     *  (Section 4 "Workload colocation"). */
+    void
+    corunnerAccess(Rng &rng)
+    {
+        mem_.accessPlain(rng.below(system_.machineMemBytes()));
+    }
+
+    /** Rebuild range registers from current OS state (e.g. after VMA
+     *  growth experiments). */
+    void refreshDescriptors();
+
+    MemoryHierarchy &mem() { return mem_; }
+    TlbHierarchy &tlb() { return tlb_; }
+    PageWalkCaches &appPwc() { return appPwc_; }
+    const AsapEngine *appEngine() const { return appEngine_.get(); }
+    const AsapEngine *hostEngine() const { return hostEngine_.get(); }
+    RangeRegisterFile &appRegisters() { return appRegisters_; }
+
+    std::uint64_t walks() const;
+    std::uint64_t faults() const { return faultsServiced_; }
+
+  private:
+    System &system_;
+    MachineConfig config_;
+
+    MemoryHierarchy mem_;
+    TlbHierarchy tlb_;
+    PageWalkCaches appPwc_;
+
+    RangeRegisterFile appRegisters_;
+    RangeRegisterFile hostRegisters_;
+    std::unique_ptr<AsapEngine> appEngine_;
+    std::unique_ptr<AsapEngine> hostEngine_;
+
+    /** Native walker, or the host-dimension walker under virt. */
+    std::optional<PageWalkCaches> hostPwc_;
+    std::unique_ptr<PageWalker> nativeWalker_;
+    std::unique_ptr<PageWalker> hostWalker_;
+    std::unique_ptr<NestedWalker> nestedWalker_;
+
+    std::uint64_t faultsServiced_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_SIM_MACHINE_HH

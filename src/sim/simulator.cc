@@ -1,0 +1,88 @@
+#include "sim/simulator.hh"
+
+namespace asap
+{
+
+RunStats
+Simulator::run(const RunConfig &config)
+{
+    Rng rng(config.seed);
+    Rng corunnerRng(config.seed ^ 0x5eed);
+    workload_.reset(rng);
+
+    const unsigned cpa = workload_.computeCyclesPerAccess();
+    RunStats stats;
+    Cycles now = 0;
+
+    const std::uint64_t total =
+        config.warmupAccesses + config.measureAccesses;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const bool measuring = i >= config.warmupAccesses;
+        const VirtAddr va = workload_.next(rng);
+
+        Cycles walkLatency = 0;
+        Translation translation;
+        if (config.perfectTlb) {
+            // Ideal TLB: translation is free (Table 6 methodology:
+            // execution with page walks eliminated).
+            translation = system_.touch(va).translation;
+        } else {
+            const Machine::TranslateResult result =
+                machine_.translate(va, now);
+            translation = result.translation;
+            walkLatency = result.walkLatency;
+            if (measuring) {
+                switch (result.tlbLevel) {
+                  case TlbHitLevel::L1:
+                    ++stats.tlbL1Hits;
+                    break;
+                  case TlbHitLevel::L2:
+                    ++stats.tlbL2Hits;
+                    break;
+                  case TlbHitLevel::Miss:
+                    ++stats.tlbMisses;
+                    break;
+                }
+                if (result.faulted)
+                    ++stats.faults;
+                if (result.walked) {
+                    stats.walkLatency.sample(walkLatency);
+                    for (unsigned level = 1; level <= 5; ++level) {
+                        if (result.requested[level]) {
+                            stats.levelDist[level].record(
+                                result.servedBy[level]);
+                        }
+                    }
+                }
+            }
+        }
+
+        const PhysAddr pa = translation.physAddrOf(va);
+        Cycles dataLatency = machine_.dataAccess(pa);
+        // Streaming accesses are covered by the ubiquitous next-line
+        // data prefetcher: the fill (and its cache pressure) is real,
+        // but the core does not expose the miss latency.
+        if (va == lastVa_ + lineSize)
+            dataLatency = machine_.mem().config().l1d.latency;
+        lastVa_ = va;
+
+        now += cpa + dataLatency + walkLatency;
+        if (measuring) {
+            ++stats.accesses;
+            stats.computeCycles += cpa;
+            stats.dataCycles += dataLatency;
+            stats.walkCycles += walkLatency;
+            stats.totalCycles += cpa + dataLatency + walkLatency;
+        }
+
+        // SMT co-runner: one random access per workload access
+        // (Section 4), contending for the shared cache hierarchy only.
+        if (config.colocation) {
+            for (unsigned c = 0; c < config.corunnerPerAccess; ++c)
+                machine_.corunnerAccess(corunnerRng);
+        }
+    }
+    return stats;
+}
+
+} // namespace asap

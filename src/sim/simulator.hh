@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The trace-driven simulation loop and its statistics, following the
+ * paper's methodology (Section 4): for every workload access, look up
+ * the TLBs; on a miss, perform the (possibly nested) page walk with
+ * latencies summed along the serial pointer chase; optionally interleave
+ * one random co-runner access per workload access (SMT colocation).
+ *
+ * The execution-time model — used for Figure 2 / Table 1 / Table 6 —
+ * charges per access: the workload's compute cycles, the data-access
+ * latency, and the full walk latency on a TLB miss.
+ */
+
+#ifndef ASAP_SIM_SIMULATOR_HH
+#define ASAP_SIM_SIMULATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/machine.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace asap
+{
+
+struct RunConfig
+{
+    std::uint64_t warmupAccesses = 100'000;
+    std::uint64_t measureAccesses = 500'000;
+    bool colocation = false;
+    /** Co-runner memory accesses per workload access. The paper issues
+     *  one request per application access; the co-runner being a pure
+     *  memory-bound SMT thread, higher ratios model its higher memory
+     *  intensity while the app stalls on compute/misses. */
+    unsigned corunnerPerAccess = 1;
+    /** Ideal-TLB run: no misses, no walks (Table 6 methodology). */
+    bool perfectTlb = false;
+    std::uint64_t seed = 7;
+};
+
+struct RunStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t tlbL1Hits = 0;
+    std::uint64_t tlbL2Hits = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t faults = 0;
+
+    SampleStat walkLatency;
+    /** Per-PT-level serving distribution (1D walks; Figure 9). */
+    std::array<LevelDistribution, 6> levelDist{};
+
+    std::uint64_t totalCycles = 0;
+    std::uint64_t walkCycles = 0;
+    std::uint64_t dataCycles = 0;
+    std::uint64_t computeCycles = 0;
+
+    double
+    avgWalkLatency() const
+    {
+        return walkLatency.mean();
+    }
+
+    /** L2-TLB misses per kilo-access (the paper's MPKI proxy). */
+    double
+    mpka() const
+    {
+        return accesses == 0 ? 0.0
+                             : 1000.0 * static_cast<double>(tlbMisses) /
+                                   static_cast<double>(accesses);
+    }
+
+    /** L2 S-TLB miss ratio (misses / L1-miss lookups). */
+    double
+    l2MissRatio() const
+    {
+        const std::uint64_t l2Lookups = tlbL2Hits + tlbMisses;
+        return l2Lookups == 0 ? 0.0
+                              : static_cast<double>(tlbMisses) /
+                                    static_cast<double>(l2Lookups);
+    }
+
+    /** Fraction of execution time spent in page walks (Figure 2). */
+    double
+    walkCycleFraction() const
+    {
+        return totalCycles == 0
+                   ? 0.0
+                   : static_cast<double>(walkCycles) /
+                         static_cast<double>(totalCycles);
+    }
+};
+
+class Simulator
+{
+  public:
+    Simulator(System &system, Machine &machine, Workload &workload)
+        : system_(system), machine_(machine), workload_(workload)
+    {}
+
+    RunStats run(const RunConfig &config);
+
+  private:
+    System &system_;
+    Machine &machine_;
+    Workload &workload_;
+    VirtAddr lastVa_ = ~VirtAddr{0};
+};
+
+} // namespace asap
+
+#endif // ASAP_SIM_SIMULATOR_HH

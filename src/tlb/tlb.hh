@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Set-associative TLB supporting mixed 4KB/2MB/1GB translations.
+ *
+ * Paper Table 5 geometry: L1 I/D-TLB 64 entries 8-way; L2 S-TLB 1536
+ * entries 6-way. The model indexes by the VPN of each page size and
+ * probes every supported size on lookup (a unified TLB, conservative
+ * versus real split designs but identical in miss behaviour for the
+ * single-size working sets evaluated).
+ */
+
+#ifndef ASAP_TLB_TLB_HH
+#define ASAP_TLB_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "pt/page_table.hh"
+
+namespace asap
+{
+
+struct TlbConfig
+{
+    std::string name = "TLB";
+    unsigned entries = 64;
+    unsigned ways = 8;
+    /** Leaf levels this TLB accepts (bit i set => level i+1 supported). */
+    unsigned levelMask = 0b111;  ///< 4KB, 2MB and 1GB
+
+    unsigned numSets() const { return entries / ways; }
+};
+
+/**
+ * Plain set-associative, true-LRU TLB.
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /** Look up @p va; updates recency on hit. */
+    std::optional<Translation> lookup(VirtAddr va);
+
+    /** Insert a translation for @p va. */
+    void fill(VirtAddr va, const Translation &translation);
+
+    /** Drop everything (context switch / scenario reset). */
+    void flush();
+
+    const TlbConfig &config() const { return config_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;      ///< VPN at the entry's page size
+        Translation translation;
+        std::uint64_t lastUse = 0;
+        std::uint8_t leafLevel = 0; ///< 0 = invalid
+    };
+
+    std::uint64_t tagOf(VirtAddr va, unsigned level) const
+    { return va >> levelShift(level); }
+
+    std::uint64_t setOf(std::uint64_t tag) const
+    { return tag & (config_.numSets() - 1); }
+
+    TlbConfig config_;
+    std::vector<Entry> entries_;   ///< sets x ways
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Clustered TLB (Pham et al., HPCA 2014) — the coalescing baseline of
+ * paper Section 5.4.1. Each entry covers an aligned cluster of 8
+ * virtually-consecutive 4KB pages whose physical frames fall within one
+ * aligned cluster of 8 frames (arbitrary permutation within the cluster).
+ * On a fill, neighbouring PTEs are probed in the page table and
+ * coalesced opportunistically.
+ */
+class ClusteredTlb
+{
+  public:
+    static constexpr unsigned clusterPages = 8;
+    static constexpr unsigned clusterShift = 3;
+
+    ClusteredTlb(const TlbConfig &config);
+
+    std::optional<Translation> lookup(VirtAddr va);
+
+    /**
+     * Fill with the translation for @p va, probing @p pt for coalescible
+     * neighbours in the same VPN cluster.
+     */
+    void fill(VirtAddr va, const Translation &translation,
+              const PageTable &pt);
+
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    /** Mean number of valid sub-pages per filled entry (diagnostic). */
+    double averageClusterOccupancy() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;           ///< VPN >> clusterShift
+        std::uint64_t ppnClusterBase = 0;///< PPN >> clusterShift
+        std::uint8_t validMask = 0;      ///< per-sub-page presence
+        std::uint8_t offsets[clusterPages] = {}; ///< PPN low 3 bits
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t setOf(std::uint64_t tag) const
+    { return tag & (config_.numSets() - 1); }
+
+    TlbConfig config_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t filledEntries_ = 0;
+    std::uint64_t filledSubPages_ = 0;
+};
+
+/** Which structure provided a TLB hit. */
+enum class TlbHitLevel : unsigned
+{
+    L1 = 0,
+    L2,
+    Miss
+};
+
+/**
+ * Two-level TLB system (L1 + L2), optionally with a Clustered L2.
+ *
+ * MPKI accounting is done at the L2 boundary (a page walk happens iff
+ * both levels miss).
+ */
+class TlbHierarchy
+{
+  public:
+    struct Config
+    {
+        TlbConfig l1{"L1-DTLB", 64, 8};
+        TlbConfig l2{"L2-STLB", 1536, 6};
+        bool clusteredL2 = false;
+    };
+
+    explicit TlbHierarchy(const Config &config);
+
+    struct Result
+    {
+        TlbHitLevel level = TlbHitLevel::Miss;
+        Translation translation;
+
+        bool hit() const { return level != TlbHitLevel::Miss; }
+    };
+
+    /** Probe L1 then L2; L2 hits are promoted into L1. */
+    Result lookup(VirtAddr va);
+
+    /**
+     * Install a walk result into both levels. @p pt enables cluster
+     * probing when the clustered L2 is configured.
+     */
+    void fill(VirtAddr va, const Translation &translation,
+              const PageTable *pt = nullptr);
+
+    void flush();
+
+    std::uint64_t l1Misses() const { return l1_.misses(); }
+    std::uint64_t l2Misses() const
+    { return clustered_ ? clustered_->misses() : l2_->misses(); }
+    std::uint64_t lookups() const { return lookups_; }
+
+  private:
+    Config config_;
+    Tlb l1_;
+    std::optional<Tlb> l2_;
+    std::optional<ClusteredTlb> clustered_;
+    std::uint64_t lookups_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_TLB_TLB_HH

@@ -1,0 +1,111 @@
+#include "walk/nested_walker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace asap
+{
+
+NestedWalker::NestedWalker(const PageTable &guestPt,
+                           PageWalkCaches &guestPwc,
+                           PageWalker &hostWalker, MemoryHierarchy &mem,
+                           HostBacking &backing, PrefetchHook *guestHook)
+    : guestPt_(guestPt), guestPwc_(guestPwc), hostWalker_(hostWalker),
+      mem_(mem), backing_(backing), guestHook_(guestHook)
+{
+}
+
+NestedWalkResult
+NestedWalker::walk(VirtAddr va, Cycles now)
+{
+    ++walks_;
+    NestedWalkResult result;
+
+    // Guest-dimension ASAP prefetches fire at 2D-walk start (Figure 7:
+    // they overlap accesses 15 and 20 with the earlier host walks).
+    if (guestHook_)
+        guestHook_->onWalkStart(va, now);
+
+    // The guest PWC can skip entire guest levels — including the host
+    // 1D walks those levels would have required.
+    unsigned level = guestPt_.levels();
+    Pfn nodePfn = guestPt_.rootPfn();
+    const PageWalkCaches::Hit hit = guestPwc_.lookupDeepest(va);
+    if (hit.valid()) {
+        result.latency += guestPwc_.latency();
+        level = hit.level - 1;
+        nodePfn = hit.childPfn;
+    }
+
+    Translation guestLeaf;
+    bool haveLeaf = false;
+    for (; level >= 1; --level) {
+        const PhysAddr gpaEntry =
+            PageTable::entryPhysAddr(nodePfn, va, level);
+        backing_.ensureBacked(gpaEntry);
+
+        // Host 1D walk to locate the guest PT node in host memory
+        // (accesses 1-4, 6-9, 11-14, 16-19 of Figure 7).
+        const WalkResult hostRes = hostWalker_.walk(gpaEntry,
+                                                    now + result.latency);
+        panic_if(hostRes.fault, "host PT not backed for gpa %#lx",
+                 gpaEntry);
+        result.latency += hostRes.latency;
+        for (unsigned l = 1; l <= 5; ++l) {
+            if (hostRes.requested[l] && hostRes.servedBy[l] != MemLevel::Pwc)
+                ++result.memAccesses;
+        }
+
+        // The guest PT node access itself (accesses 5, 10, 15, 20).
+        const PhysAddr hpaEntry = hostRes.translation.physAddrOf(gpaEntry);
+        const AccessResult access = mem_.access(hpaEntry,
+                                                now + result.latency);
+        result.latency += access.latency;
+        ++result.memAccesses;
+
+        const Pte entry = guestPt_.readEntry(nodePfn, va, level);
+        if (!entry.present()) {
+            result.fault = true;
+            ++faults_;
+            return result;
+        }
+        if (entry.isLeaf(level)) {
+            guestLeaf.pfn = entry.pfn();
+            guestLeaf.leafLevel = level;
+            guestLeaf.pteAddr = gpaEntry;
+            haveLeaf = true;
+            break;
+        }
+        guestPwc_.insert(level, va, entry.pfn());
+        nodePfn = entry.pfn();
+    }
+    panic_if(!haveLeaf, "nested walk fell through below PL1 for %#lx", va);
+
+    // Final host walk for the data page (accesses 21-24).
+    const PhysAddr gpaData = guestLeaf.physAddrOf(alignDown(va, pageSize));
+    backing_.ensureBacked(gpaData);
+    const WalkResult hostRes = hostWalker_.walk(gpaData,
+                                                now + result.latency);
+    panic_if(hostRes.fault, "host PT not backed for data gpa %#lx",
+             gpaData);
+    result.latency += hostRes.latency;
+    for (unsigned l = 1; l <= 5; ++l) {
+        if (hostRes.requested[l] && hostRes.servedBy[l] != MemLevel::Pwc)
+            ++result.memAccesses;
+    }
+
+    // The TLB caches the composed va -> host-frame translation. The
+    // effective page size is the smaller of the two dimensions' leaves.
+    result.guestLeafLevel = guestLeaf.leafLevel;
+    result.translation.leafLevel =
+        std::min<unsigned>(guestLeaf.leafLevel,
+                           hostRes.translation.leafLevel);
+    const PhysAddr hpaData = hostRes.translation.physAddrOf(gpaData);
+    const std::uint64_t span = levelSpan(result.translation.leafLevel);
+    result.translation.pfn = alignDown(hpaData, span) >> pageShift;
+    result.translation.pteAddr = guestLeaf.pteAddr;
+    return result;
+}
+
+} // namespace asap

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Page Walk Caches: the split per-level translation caches of modern
+ * x86 MMUs (paper Table 5, after Bhattacharjee MICRO'13).
+ *
+ * An entry in the level-L cache holds the *contents* of a level-L PT
+ * entry, i.e. a pointer to the node at level L-1, tagged by the VA bits
+ * that select that entry (va >> levelShift(L)). A hit in the level-2
+ * cache therefore lets the walker skip straight to the PL1 access.
+ *
+ * Default geometry (Intel Core i7-like): PL4 2 entries fully assoc.,
+ * PL3 4 entries fully assoc., PL2 32 entries 4-way, 2-cycle access.
+ * PL1 entries are never cached here — they go to the TLBs.
+ */
+
+#ifndef ASAP_WALK_PWC_HH
+#define ASAP_WALK_PWC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace asap
+{
+
+struct PwcConfig
+{
+    Cycles latency = 2;
+
+    struct LevelGeometry
+    {
+        unsigned entries = 0;  ///< 0 = no cache for this level
+        unsigned ways = 0;     ///< 0 = fully associative
+    };
+
+    /** Geometry per PT level; index 2..5 used ([0],[1] unused). */
+    LevelGeometry level[6] = {
+        {},             // unused
+        {},             // PL1: never cached in PWCs
+        {32, 4},        // PL2
+        {4, 0},         // PL3
+        {2, 0},         // PL4
+        {2, 0},         // PL5 (used only with 5-level tables)
+    };
+
+    /** Multiply every capacity by @p factor (the PWC-size ablation). */
+    PwcConfig
+    scaled(unsigned factor) const
+    {
+        PwcConfig out = *this;
+        for (auto &geometry : out.level)
+            geometry.entries *= factor;
+        return out;
+    }
+};
+
+/**
+ * The ensemble of per-level walk caches.
+ */
+class PageWalkCaches
+{
+  public:
+    explicit PageWalkCaches(const PwcConfig &config = {},
+                            unsigned ptLevels = numPtLevels);
+
+    struct Hit
+    {
+        unsigned level = 0;   ///< level of the cached entry (0 = miss)
+        Pfn childPfn = invalidPfn;  ///< node the walker continues from
+
+        bool valid() const { return level != 0; }
+    };
+
+    /**
+     * Find the deepest cached entry covering @p va. A hit at level L
+     * means the walker can continue directly at level L-1.
+     */
+    Hit lookupDeepest(VirtAddr va);
+
+    /** Cache the level-@p level entry for @p va (child node @p pfn). */
+    void insert(unsigned level, VirtAddr va, Pfn childPfn);
+
+    /** Invalidate everything (context switch / scenario reset). */
+    void flush();
+
+    Cycles latency() const { return config_.latency; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t lookups() const { return lookups_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        Pfn childPfn = invalidPfn;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    struct LevelCache
+    {
+        unsigned entries = 0;
+        unsigned ways = 0;          ///< effective ways (== entries if FA)
+        std::vector<Entry> slots;
+
+        bool lookup(std::uint64_t tag, Pfn &childPfn, std::uint64_t tick);
+        void insert(std::uint64_t tag, Pfn childPfn, std::uint64_t tick);
+    };
+
+    static std::uint64_t
+    tagOf(VirtAddr va, unsigned level)
+    {
+        return va >> levelShift(level);
+    }
+
+    PwcConfig config_;
+    unsigned ptLevels_;
+    LevelCache caches_[6];
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t lookups_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_WALK_PWC_HH

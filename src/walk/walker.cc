@@ -1,0 +1,71 @@
+#include "walk/walker.hh"
+
+#include "common/logging.hh"
+
+namespace asap
+{
+
+PageWalker::PageWalker(const PageTable &pt, MemoryHierarchy &mem,
+                       PageWalkCaches &pwc, PrefetchHook *hook,
+                       AddrMapper *mapper)
+    : pt_(pt), mem_(mem), pwc_(pwc), hook_(hook), mapper_(mapper)
+{
+}
+
+WalkResult
+PageWalker::walk(VirtAddr va, Cycles now)
+{
+    ++walks_;
+    WalkResult result;
+
+    // ASAP: prefetches launch concurrently with the walker's first
+    // access (paper Figure 4b).
+    if (hook_)
+        hook_->onWalkStart(va, now);
+
+    // Start from the deepest PWC hit; skipped levels count as
+    // PWC-served (Figure 9 semantics).
+    unsigned level = pt_.levels();
+    Pfn nodePfn = pt_.rootPfn();
+    const PageWalkCaches::Hit hit = pwc_.lookupDeepest(va);
+    if (hit.valid()) {
+        result.latency += pwc_.latency();
+        for (unsigned skipped = hit.level; skipped <= pt_.levels();
+             ++skipped) {
+            result.record(skipped, MemLevel::Pwc);
+        }
+        level = hit.level - 1;
+        nodePfn = hit.childPfn;
+    }
+
+    for (; level >= 1; --level) {
+        const PhysAddr entryPa =
+            PageTable::entryPhysAddr(nodePfn, va, level);
+        const PhysAddr tagPa =
+            mapper_ ? mapper_->mapEntryAddr(entryPa) : entryPa;
+        const AccessResult access = mem_.access(tagPa,
+                                                now + result.latency);
+        result.latency += access.latency;
+        result.record(level, access.servedBy);
+
+        const Pte entry = pt_.readEntry(nodePfn, va, level);
+        if (!entry.present()) {
+            result.fault = true;
+            ++faults_;
+            return result;
+        }
+        if (entry.isLeaf(level)) {
+            result.translation.pfn = entry.pfn();
+            result.translation.leafLevel = level;
+            result.translation.pteAddr = entryPa;
+            return result;
+        }
+        // Intermediate entry: cache it for future walks.
+        pwc_.insert(level, va, entry.pfn());
+        nodePfn = entry.pfn();
+    }
+
+    panic("walk fell through below PL1 for va %#lx", va);
+}
+
+} // namespace asap

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table 3), expressed as WorkloadSpecs.
+ *
+ * Footprints are scaled from the paper's dataset sizes so that the key
+ * structural thresholds are preserved relative to the Table 5 memory
+ * hierarchy: every workload's footprint vastly exceeds the 6MB L2-STLB
+ * reach, the PL1 slice of the page table of the biggest datasets
+ * (memcached-400GB) exceeds the 20MB LLC, and small-footprint
+ * applications (mcf, canneal) keep their PT comfortably cache-resident.
+ * VMA counts match Table 2.
+ */
+
+#ifndef ASAP_WORKLOADS_SUITE_HH
+#define ASAP_WORKLOADS_SUITE_HH
+
+#include <optional>
+#include <vector>
+
+#include "workloads/synthetic.hh"
+
+namespace asap
+{
+
+/** Individual specs (tuned parameters documented in suite.cc). */
+WorkloadSpec mcfSpec();
+WorkloadSpec cannealSpec();
+WorkloadSpec bfsSpec();
+WorkloadSpec pagerankSpec();
+WorkloadSpec mc80Spec();
+WorkloadSpec mc400Spec();
+WorkloadSpec redisSpec();
+
+/** The full evaluation suite in the paper's figure order:
+ *  mcf, canneal, bfs, pagerank, mc80, mc400, redis. */
+std::vector<WorkloadSpec> standardSuite();
+
+/** Spec by name ("mcf", "mc400", ...). */
+std::optional<WorkloadSpec> specByName(const std::string &name);
+
+/**
+ * Scale a spec's footprint and memory sizing down by @p divisor —
+ * used by tests and quick calibration runs (set ASAP_QUICK=1).
+ */
+WorkloadSpec scaledDown(WorkloadSpec spec, unsigned divisor);
+
+/** Apply ASAP_QUICK env-var scaling if present. */
+WorkloadSpec applyQuickMode(WorkloadSpec spec);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_SUITE_HH

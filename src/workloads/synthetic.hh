@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator.
+ *
+ * Each paper application (Table 3) is expressed as a mixture of four
+ * access components over a prefaulted resident set:
+ *   - sequential  : a line-granular scan cursor (CSR scans, value reads);
+ *   - near        : an access within a few pages of the previous one
+ *                   (spatial clustering; what Clustered TLB exploits);
+ *   - hot         : a small temporally-hot page set (metadata, roots);
+ *   - random/zipf : uniform or Zipfian page picks over the footprint
+ *                   (pointer chasing, hashed keys).
+ *
+ * The resident set is demand-faulted sequentially at setup, so physical
+ * data placement comes out of the buddy allocator exactly as a freshly
+ * faulted Linux heap would — including interleaving with PT node frames
+ * and any churn-induced fragmentation.
+ */
+
+#ifndef ASAP_WORKLOADS_SYNTHETIC_HH
+#define ASAP_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "workloads/workload.hh"
+
+namespace asap
+{
+
+/** Full description of one synthetic application + its machine sizing. */
+struct WorkloadSpec
+{
+    std::string name;
+    double paperGb = 0.0;          ///< dataset size the paper used
+
+    std::uint64_t residentPages = 1 << 18;  ///< prefaulted footprint
+    unsigned dataVmas = 1;         ///< prefetchable dataset VMAs
+    unsigned smallVmas = 12;       ///< libs/stack/etc. (Table 2 counts)
+    unsigned cyclesPerAccess = 4;  ///< compute between memory accesses
+
+    double seqFraction = 0.0;
+    double nearFraction = 0.0;
+    /** Fraction of accesses to a warm window of recently-useful pages
+     *  (the component that reuses both translations and data lines). */
+    double windowFraction = 0.0;
+    /** Warm-window size in pages. Sized between the L2-STLB reach
+     *  (~1536 pages) and what the LLC can hold, this is the knob that
+     *  creates the paper's signature regime: data hits in caches while
+     *  translations miss the TLB. The window is VA-contiguous (the
+     *  first windowPages of the footprint), so VA-adjacent windows are
+     *  what Clustered TLB can coalesce. */
+    std::uint64_t windowPages = 0;
+    /** Zipfian key popularity (key-value stores); when set, replaces
+     *  the window+cold components entirely. */
+    double zipfTheta = 0.0;
+    /** Data-line reuse: each page exposes only this many distinct lines
+     *  (value/field locality). 0 = any line of the page. */
+    unsigned linesPerPage = 0;
+    /** Probability that an access stays on the previous page (object
+     *  spanning several lines, struct-of-fields reads). Geometric bursts
+     *  with mean 1/(1-p) accesses per page — this is what keeps real
+     *  L1-TLB hit rates high and page-walk rates realistic. */
+    double burstContinueProb = 0.0;
+
+    /** System sizing for this workload's scenarios. */
+    std::uint64_t machineMemBytes = 8_GiB;
+    std::uint64_t guestMemBytes = 4_GiB;
+    std::uint64_t churnOps = 0;
+    std::uint64_t guestChurnOps = 0;
+    /** Largest block order the churn pass allocates. Small orders
+     *  fragment memory at (sub-)cluster granularity, which is what
+     *  destroys the physical contiguity Clustered TLB relies on in
+     *  long-running deployments (Table 7). */
+    unsigned churnMaxOrder = 4;
+};
+
+class SyntheticWorkload : public Workload
+{
+  public:
+    explicit SyntheticWorkload(WorkloadSpec spec);
+
+    const std::string &name() const override { return spec_.name; }
+    void setup(System &system) override;
+    void reset(Rng &rng) override;
+    VirtAddr next(Rng &rng) override;
+
+    unsigned
+    computeCyclesPerAccess() const override
+    {
+        return spec_.cyclesPerAccess;
+    }
+
+    double paperDatasetGb() const override { return spec_.paperGb; }
+
+    const WorkloadSpec &spec() const { return spec_; }
+
+  private:
+    VirtAddr pageVa(std::uint64_t pageIndex) const;
+    std::uint64_t lineOffset(std::uint64_t page, Rng &rng) const;
+
+    WorkloadSpec spec_;
+
+    struct DataRegion
+    {
+        VirtAddr start = 0;
+        std::uint64_t pages = 0;
+        std::uint64_t vmaId = 0;
+    };
+    std::vector<DataRegion> regions_;
+    std::uint64_t totalPages_ = 0;
+    std::optional<BlockScrambledZipfian> zipf_;
+
+    // Per-run cursors.
+    std::uint64_t seqByte_ = 0;
+    std::uint64_t lastPage_ = 0;
+    std::uint64_t burstLine_ = 0;
+};
+
+/** Construct a workload from a spec (currently always synthetic). */
+std::unique_ptr<Workload> makeWorkload(const WorkloadSpec &spec);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_SYNTHETIC_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload interface: a synthetic application that owns VMAs inside a
+ * System and emits a virtual-address stream.
+ *
+ * The paper drives its simulator with DynamoRIO traces of real
+ * applications; this reproduction substitutes generators that match the
+ * *structural* properties the memory-system model is sensitive to
+ * (DESIGN.md Section 2): footprint, VMA layout, sequential/spatial/
+ * temporal locality mix, and key-popularity skew.
+ */
+
+#ifndef ASAP_WORKLOADS_WORKLOAD_HH
+#define ASAP_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace asap
+{
+
+class System;
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Human-readable name ("mcf", "mc400", ...). */
+    virtual const std::string &name() const = 0;
+
+    /** Create VMAs and prefault the resident set. Called once. */
+    virtual void setup(System &system) = 0;
+
+    /** Reset per-run generator state (cursors, last-touch). */
+    virtual void reset(Rng &rng) = 0;
+
+    /** Next memory-access virtual address. */
+    virtual VirtAddr next(Rng &rng) = 0;
+
+    /** Core (non-memory) cycles between memory accesses — the
+     *  execution-time model's compute component. */
+    virtual unsigned computeCyclesPerAccess() const = 0;
+
+    /** The paper-scale dataset this generator stands in for (GB). */
+    virtual double paperDatasetGb() const = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the 2D nested walker and the virtualized System glue
+ * (Section 3.6 / Figure 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "sim/system.hh"
+#include "walk/nested_walker.hh"
+
+using namespace asap;
+
+namespace
+{
+
+SystemConfig
+smallVirtConfig(bool asapPlacement = false, bool hostHuge = false)
+{
+    SystemConfig config;
+    config.virtualized = true;
+    config.asapPlacement = asapPlacement;
+    config.hostHugePages = hostHuge;
+    config.machineMemBytes = 1_GiB;
+    config.guestMemBytes = 256_MiB;
+    return config;
+}
+
+/** A virtualized system with one touched guest VMA. */
+struct NestedFixture : public ::testing::Test
+{
+    NestedFixture() : system(smallVirtConfig())
+    {
+        vmaId = system.mmap(16_MiB, "heap", true);
+        base = system.appSpace().vmas().byId(vmaId)->start;
+        for (unsigned i = 0; i < 8; ++i)
+            system.touch(base + static_cast<VirtAddr>(i) * 2_MiB);
+    }
+
+    System system;
+    std::uint64_t vmaId = 0;
+    VirtAddr base = 0;
+};
+
+} // namespace
+
+TEST_F(NestedFixture, GuestMappingBackedInHost)
+{
+    const auto t = system.appSpace().translate(base);
+    ASSERT_TRUE(t.has_value());
+    const PhysAddr gpa = t->physAddrOf(base + 0x123);
+    // touch() backed the data page and the PT node path: the host PT
+    // has a mapping and composition preserves the page offset.
+    const PhysAddr hpa = system.hostPhysOf(gpa);
+    EXPECT_EQ(hpa & pageOffsetMask, gpa & pageOffsetMask);
+    EXPECT_TRUE(system.hostSpace().translate(gpa).has_value());
+}
+
+TEST_F(NestedFixture, NestedWalkTranslatesCorrectly)
+{
+    MemoryHierarchy mem;
+    PageWalkCaches guestPwc, hostPwc;
+    PageWalker hostWalker(system.hostPt(), mem, hostPwc);
+    NestedWalker nested(system.appPt(), guestPwc, hostWalker, mem, system);
+
+    const NestedWalkResult result = nested.walk(base + 0x234, 0);
+    EXPECT_FALSE(result.fault);
+    // The composed translation must equal guest->gpa->hpa by hand.
+    const auto gt = system.appSpace().translate(base);
+    const PhysAddr gpa = gt->physAddrOf(base + 0x234);
+    const PhysAddr hpa = system.hostPhysOf(gpa);
+    EXPECT_EQ(result.translation.physAddrOf(base + 0x234), hpa);
+}
+
+TEST_F(NestedFixture, ColdNestedWalkCostsTwentyFourAccesses)
+{
+    MemoryHierarchy mem;
+    PageWalkCaches guestPwc, hostPwc;
+    PageWalker hostWalker(system.hostPt(), mem, hostPwc);
+    NestedWalker nested(system.appPt(), guestPwc, hostWalker, mem, system);
+
+    const NestedWalkResult result = nested.walk(base + 0x1000, 0);
+    // Figure 7: 5 host walks x 4 + 4 guest node accesses = 24, but the
+    // first host walk warms host PWCs/caches so later ones shrink.
+    EXPECT_LE(result.memAccesses, 24u);
+    EXPECT_GE(result.memAccesses, 8u);
+    EXPECT_GT(result.latency, 4 * mem.config().memLatency);
+}
+
+TEST_F(NestedFixture, GuestPwcSkipsHostWalks)
+{
+    MemoryHierarchy mem;
+    PageWalkCaches guestPwc, hostPwc;
+    PageWalker hostWalker(system.hostPt(), mem, hostPwc);
+    NestedWalker nested(system.appPt(), guestPwc, hostWalker, mem, system);
+
+    const auto cold = nested.walk(base + 0x1000, 0);
+    const auto warm = nested.walk(base + 0x2000, 10000);
+    EXPECT_LT(warm.memAccesses, cold.memAccesses);
+    EXPECT_LT(warm.latency, cold.latency);
+}
+
+TEST_F(NestedFixture, NestedFaultOnUnmappedGuestPage)
+{
+    MemoryHierarchy mem;
+    PageWalkCaches guestPwc, hostPwc;
+    PageWalker hostWalker(system.hostPt(), mem, hostPwc);
+    NestedWalker nested(system.appPt(), guestPwc, hostWalker, mem, system);
+
+    const VirtAddr untouched = base + 12 * 2_MiB;
+    const NestedWalkResult result = nested.walk(untouched, 0);
+    EXPECT_TRUE(result.fault);
+}
+
+TEST(NestedAsap, GuestRegionsBackedContiguouslyInHost)
+{
+    System system(smallVirtConfig(/*asapPlacement=*/true));
+    system.mmap(16_MiB, "heap", true);
+    const auto descriptors = system.appDescriptors();
+    ASSERT_FALSE(descriptors.empty());
+    const VmaDescriptor &descriptor = descriptors.front();
+    ASSERT_TRUE(descriptor.levels[1].valid);
+
+    // The descriptor's base must be *host*-physical: walking the guest
+    // PT and translating through the host PT must land on the same
+    // line the descriptor computes.
+    const VirtAddr va = descriptor.start + 5 * 2_MiB + 0x3000;
+    System &mutableSystem = const_cast<System &>(system);
+    mutableSystem.touch(va);
+    const auto gt = system.appSpace().translate(va);
+    ASSERT_TRUE(gt.has_value());
+    const PhysAddr gpaPte = gt->pteAddr;
+    const PhysAddr hpaPte = system.hostPhysOf(gpaPte);
+    EXPECT_EQ(descriptor.levels[1].entryAddrOf(va), hpaPte);
+}
+
+TEST(NestedAsap, GuestAndHostPrefetchingReduceLatency)
+{
+    // Build two equivalent virtualized systems (baseline placement vs
+    // ASAP placement) and compare nested walk latencies under the four
+    // engine configurations of Figure 10.
+    System baselineSystem(smallVirtConfig(false));
+    System asapSystem(smallVirtConfig(true));
+    std::vector<VirtAddr> vas;
+    for (System *system : {&baselineSystem, &asapSystem}) {
+        const auto id = system->mmap(16_MiB, "heap", true);
+        const VirtAddr base = system->appSpace().vmas().byId(id)->start;
+        for (unsigned i = 0; i < 8; ++i)
+            system->touch(base + static_cast<VirtAddr>(i) * 2_MiB +
+                          0x1000);
+        if (system == &asapSystem)
+            vas = {base + 0x1000, base + 2_MiB + 0x1000,
+                   base + 4_MiB + 0x1000};
+    }
+
+    auto measure = [&](System &system, AsapConfig guest, AsapConfig host) {
+        MachineConfig config;
+        config.appAsap = std::move(guest);
+        config.hostAsap = std::move(host);
+        Machine machine(system, config);
+        Cycles total = 0;
+        Cycles now = 0;
+        for (const VirtAddr va : vas) {
+            const auto result = machine.translate(va, now);
+            total += result.walkLatency;
+            now += 1000;
+        }
+        return total;
+    };
+
+    const Cycles baseline =
+        measure(baselineSystem, AsapConfig::off(), AsapConfig::off());
+    const Cycles guestOnly =
+        measure(asapSystem, AsapConfig::p1p2(), AsapConfig::off());
+    const Cycles both =
+        measure(asapSystem, AsapConfig::p1p2(), AsapConfig::p1p2());
+    EXPECT_LT(guestOnly, baseline);
+    EXPECT_LT(both, guestOnly);
+}
+
+TEST(NestedHugePages, HostHugePagesShortenHostWalks)
+{
+    System small(smallVirtConfig(false, /*hostHuge=*/false));
+    System huge(smallVirtConfig(false, /*hostHuge=*/true));
+    NestedWalkResult smallResult, hugeResult;
+    for (System *system : {&small, &huge}) {
+        const auto id = system->mmap(4_MiB, "heap", true);
+        const VirtAddr base = system->appSpace().vmas().byId(id)->start;
+        system->touch(base + 0x1000);
+        MemoryHierarchy mem;
+        PageWalkCaches guestPwc, hostPwc;
+        PageWalker hostWalker(system->hostPt(), mem, hostPwc);
+        NestedWalker nested(system->appPt(), guestPwc, hostWalker, mem,
+                            *system);
+        const auto result = nested.walk(base + 0x1000, 0);
+        EXPECT_FALSE(result.fault);
+        if (system == &small)
+            smallResult = result;
+        else
+            hugeResult = result;
+    }
+    // 2MB host pages eliminate the hPL1 access of every host walk
+    // (accesses 4, 9, 14, 19, 24 in Figure 7).
+    EXPECT_LT(hugeResult.memAccesses, smallResult.memAccesses);
+    EXPECT_LT(hugeResult.latency, smallResult.latency);
+}
+
+TEST(NestedHugePages, CompositionStillFourKbGranular)
+{
+    System system(smallVirtConfig(false, /*hostHuge=*/true));
+    const auto id = system.mmap(4_MiB, "heap", true);
+    const VirtAddr base = system.appSpace().vmas().byId(id)->start;
+    system.touch(base + 0x1000);
+    MemoryHierarchy mem;
+    PageWalkCaches guestPwc, hostPwc;
+    PageWalker hostWalker(system.hostPt(), mem, hostPwc);
+    NestedWalker nested(system.appPt(), guestPwc, hostWalker, mem, system);
+    const auto result = nested.walk(base + 0x1234, 0);
+    // Guest pages are 4KB, so the effective translation is 4KB even
+    // though the host maps 2MB pages.
+    EXPECT_EQ(result.translation.leafLevel, 1u);
+    const auto gt = system.appSpace().translate(base + 0x1234);
+    const PhysAddr hpa =
+        system.hostPhysOf(gt->physAddrOf(base + 0x1234));
+    EXPECT_EQ(result.translation.physAddrOf(base + 0x1234), hpa);
+}
+
+TEST(NestedFiveLevel, GuestFiveLevelWalks)
+{
+    SystemConfig config = smallVirtConfig();
+    config.ptLevels = 5;
+    System system(config);
+    const auto id = system.mmap(4_MiB, "heap", true);
+    const VirtAddr base = system.appSpace().vmas().byId(id)->start;
+    system.touch(base + 0x1000);
+    MemoryHierarchy mem;
+    PageWalkCaches guestPwc(PwcConfig{}, 5), hostPwc;
+    PageWalker hostWalker(system.hostPt(), mem, hostPwc);
+    NestedWalker nested(system.appPt(), guestPwc, hostWalker, mem, system);
+    const auto result = nested.walk(base + 0x1000, 0);
+    EXPECT_FALSE(result.fault);
+    const auto gt = system.appSpace().translate(base + 0x1000);
+    EXPECT_EQ(result.translation.physAddrOf(base + 0x1000),
+              system.hostPhysOf(gt->physAddrOf(base + 0x1000)));
+}

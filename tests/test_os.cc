@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Unit + property tests for src/os: VMA tree, address space, and the
+ * two PT-node placement policies (buddy vs ASAP contiguous/sorted).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/address_space.hh"
+#include "os/buddy_allocator.hh"
+#include "os/pt_allocators.hh"
+#include "os/vma.hh"
+
+using namespace asap;
+
+// ---------------------------------------------------------------------
+// VmaTree
+// ---------------------------------------------------------------------
+
+TEST(VmaTree, InsertAndFind)
+{
+    VmaTree tree;
+    const auto id = tree.insert(0x10000, 0x20000, "heap", true);
+    const Vma *vma = tree.find(0x15000);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->id, id);
+    EXPECT_EQ(vma->name, "heap");
+    EXPECT_TRUE(vma->prefetchable);
+    EXPECT_EQ(tree.find(0x20000), nullptr);   // end is exclusive
+    EXPECT_EQ(tree.find(0xffff), nullptr);
+}
+
+TEST(VmaTree, MultipleRangesSorted)
+{
+    VmaTree tree;
+    tree.insert(0x30000, 0x40000, "b", false);
+    tree.insert(0x10000, 0x20000, "a", false);
+    const auto all = tree.all();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0]->name, "a");
+    EXPECT_EQ(all[1]->name, "b");
+}
+
+TEST(VmaTree, GrowSucceedsIntoGap)
+{
+    VmaTree tree;
+    const auto id = tree.insert(0x10000, 0x20000, "heap", true);
+    tree.insert(0x40000, 0x50000, "next", false);
+    EXPECT_TRUE(tree.grow(id, 0x10000));
+    EXPECT_EQ(tree.byId(id)->end, 0x30000u);
+}
+
+TEST(VmaTree, GrowBlockedByNeighbor)
+{
+    VmaTree tree;
+    const auto id = tree.insert(0x10000, 0x20000, "heap", true);
+    tree.insert(0x20000, 0x30000, "next", false);
+    EXPECT_FALSE(tree.grow(id, 0x1000));
+    EXPECT_EQ(tree.byId(id)->end, 0x20000u);
+}
+
+TEST(VmaTree, Remove)
+{
+    VmaTree tree;
+    const auto id = tree.insert(0x10000, 0x20000, "x", false);
+    tree.remove(id);
+    EXPECT_EQ(tree.find(0x15000), nullptr);
+    EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(VmaTreeDeath, OverlapPanics)
+{
+    VmaTree tree;
+    tree.insert(0x10000, 0x20000, "a", false);
+    EXPECT_DEATH(tree.insert(0x18000, 0x28000, "b", false), "overlap");
+    EXPECT_DEATH(tree.insert(0x08000, 0x18000, "c", false), "overlap");
+}
+
+// ---------------------------------------------------------------------
+// AddressSpace with buddy placement
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct SpaceFixture : public ::testing::Test
+{
+    SpaceFixture()
+        : buddy(1 << 16), ptAllocator(buddy),
+          space(buddy, ptAllocator, AddressSpaceConfig{})
+    {}
+
+    BuddyAllocator buddy;
+    BuddyPtAllocator ptAllocator;
+    AddressSpace space;
+};
+
+} // namespace
+
+TEST_F(SpaceFixture, MmapCreatesVma)
+{
+    const auto id = space.mmap(1_MiB, "heap", true);
+    const Vma *vma = space.vmas().byId(id);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->sizeBytes(), 1_MiB);
+    EXPECT_EQ(vma->touchedPages, 0u);   // lazy: nothing mapped yet
+    EXPECT_FALSE(space.translate(vma->start).has_value());
+}
+
+TEST_F(SpaceFixture, TouchFaultsOnceThenHits)
+{
+    const auto id = space.mmap(1_MiB, "heap", true);
+    const VirtAddr va = space.vmas().byId(id)->start + 0x3123;
+    const auto first = space.touch(va);
+    EXPECT_TRUE(first.faulted);
+    const auto second = space.touch(va);
+    EXPECT_FALSE(second.faulted);
+    EXPECT_EQ(first.translation.pfn, second.translation.pfn);
+    EXPECT_EQ(space.pageFaults(), 1u);
+    EXPECT_EQ(space.touchedPages(), 1u);
+}
+
+TEST_F(SpaceFixture, TranslationCoversWholePage)
+{
+    const auto id = space.mmap(64_KiB, "x", false);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    space.touch(base + 0x1000);
+    const auto t = space.translate(base + 0x1fff);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->physAddrOf(base + 0x1fff) & pageOffsetMask, 0xfffu);
+}
+
+TEST_F(SpaceFixture, DistinctPagesGetDistinctFrames)
+{
+    const auto id = space.mmap(64_KiB, "x", false);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    const auto a = space.touch(base).translation.pfn;
+    const auto b = space.touch(base + pageSize).translation.pfn;
+    EXPECT_NE(a, b);
+}
+
+TEST_F(SpaceFixture, VmasForFootprintCoverage)
+{
+    const auto big = space.mmap(1_MiB, "big", true);
+    const auto small = space.mmap(64_KiB, "small", false);
+    const VirtAddr bigBase = space.vmas().byId(big)->start;
+    const VirtAddr smallBase = space.vmas().byId(small)->start;
+    for (int i = 0; i < 200; ++i)
+        space.touch(bigBase + static_cast<VirtAddr>(i) * pageSize);
+    space.touch(smallBase);
+    EXPECT_EQ(space.vmasForFootprintCoverage(0.99), 1u);
+    EXPECT_EQ(space.vmasForFootprintCoverage(1.0), 2u);
+}
+
+TEST_F(SpaceFixture, ExtendVmaGrowsRange)
+{
+    const auto id = space.mmap(64_KiB, "heap", true);
+    const VirtAddr oldEnd = space.vmas().byId(id)->end;
+    EXPECT_TRUE(space.extendVma(id, 64_KiB));
+    EXPECT_EQ(space.vmas().byId(id)->end, oldEnd + 64_KiB);
+    // Newly grown pages are touchable.
+    EXPECT_TRUE(space.touch(oldEnd).faulted);
+}
+
+TEST(AddressSpaceHuge, HugePagesMapWholeRegion)
+{
+    BuddyAllocator buddy(1 << 16);
+    BuddyPtAllocator ptAllocator(buddy);
+    AddressSpaceConfig config;
+    config.hugePages = true;
+    AddressSpace space(buddy, ptAllocator, config);
+    const auto id = space.mmap(4_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    const auto t = space.touch(base + 0x1234).translation;
+    EXPECT_EQ(t.leafLevel, 2u);
+    // A second touch within the same 2MB page does not fault.
+    EXPECT_FALSE(space.touch(base + 0x100000).faulted);
+    EXPECT_EQ(space.pageFaults(), 1u);
+    // The backing block is 2MB aligned.
+    EXPECT_EQ(t.pfn & (entriesPerNode - 1), 0u);
+}
+
+TEST_F(SpaceFixture, RelocateFrameMovesDataPage)
+{
+    const auto id = space.mmap(64_KiB, "x", false);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    const Pfn before = space.touch(base).translation.pfn;
+    EXPECT_TRUE(space.relocateFrame(before));
+    const Pfn after = space.translate(base)->pfn;
+    EXPECT_NE(before, after);
+    EXPECT_TRUE(buddy.isFree(before));
+    EXPECT_EQ(space.relocations(), 1u);
+}
+
+TEST_F(SpaceFixture, RelocateRefusesNonDataFrames)
+{
+    // A PT node frame has no reverse mapping.
+    const auto id = space.mmap(64_KiB, "x", false);
+    space.touch(space.vmas().byId(id)->start);
+    const Pfn root = space.pageTable().rootPfn();
+    EXPECT_FALSE(space.relocateFrame(root));
+}
+
+TEST(AddressSpacePinned, PinnedPagesAreNotRelocatable)
+{
+    BuddyAllocator buddy(1 << 16);
+    BuddyPtAllocator ptAllocator(buddy);
+    AddressSpaceConfig config;
+    config.pinnedProb = 1.0;    // pin everything
+    AddressSpace space(buddy, ptAllocator, config);
+    const auto id = space.mmap(64_KiB, "x", false);
+    const Pfn f = space.touch(space.vmas().byId(id)->start).translation.pfn;
+    EXPECT_FALSE(space.relocateFrame(f));
+}
+
+TEST_F(SpaceFixture, BackRangeContiguousIsContiguousAndPinned)
+{
+    const auto id = space.mmap(1_MiB, "vm", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    const Pfn first = space.backRangeContiguous(base, 32);
+    ASSERT_NE(first, invalidPfn);
+    for (unsigned i = 0; i < 32; ++i) {
+        const auto t = space.translate(base + i * pageSize);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_EQ(t->pfn, first + i);
+        EXPECT_FALSE(space.relocateFrame(first + i));   // pinned
+    }
+}
+
+// ---------------------------------------------------------------------
+// AsapPtAllocator: contiguity, sortedness, base-plus-offset math
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct AsapFixture : public ::testing::Test
+{
+    AsapFixture()
+        : buddy(1 << 16), asap(buddy, {1, 2}),
+          space(buddy, asap, AddressSpaceConfig{})
+    {
+        space.addObserver(&asap);
+    }
+
+    BuddyAllocator buddy;
+    AsapPtAllocator asap;
+    AddressSpace space;
+};
+
+} // namespace
+
+TEST_F(AsapFixture, RegionsReservedAtVmaCreation)
+{
+    const std::uint64_t before = buddy.freeFrames();
+    space.mmap(64_MiB, "heap", true);
+    // PL1: 64MB/2MB = 32 node slots; PL2: 1 slot.
+    EXPECT_EQ(asap.reservedFrames(), 33u);
+    EXPECT_EQ(before - buddy.freeFrames(), 33u);
+    EXPECT_EQ(asap.regions().size(), 2u);
+}
+
+TEST_F(AsapFixture, NonPrefetchableVmaGetsNoRegion)
+{
+    space.mmap(64_MiB, "libs", false);
+    EXPECT_EQ(asap.reservedFrames(), 0u);
+    EXPECT_TRUE(asap.regions().empty());
+}
+
+TEST_F(AsapFixture, NodesAreSortedAndContiguous)
+{
+    const auto id = space.mmap(64_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    // Touch pages in *random* order: one per 2MB region.
+    const unsigned order[] = {7, 2, 30, 0, 15, 9, 31, 1};
+    for (const unsigned i : order)
+        space.touch(base + static_cast<VirtAddr>(i) * 2_MiB);
+
+    const AsapPtAllocator::Region *region = asap.regionFor(base, 1);
+    ASSERT_NE(region, nullptr);
+    // Each touched 2MB slice's PL1 node must sit at basePfn + index,
+    // regardless of fault order (the sorted property, Section 3.3).
+    const PageTable &pt = space.pageTable();
+    for (const unsigned i : order) {
+        const VirtAddr va = base + static_cast<VirtAddr>(i) * 2_MiB;
+        Pfn node = pt.rootPfn();
+        for (unsigned level = 4; level >= 2; --level)
+            node = pt.readEntry(node, va, level).pfn();
+        EXPECT_EQ(node, region->basePfn + region->slotOf(va)) << i;
+    }
+}
+
+TEST_F(AsapFixture, EntryAddrMatchesActualPteLocation)
+{
+    // THE core ASAP invariant: the range-register arithmetic
+    // (base + (offset >> s) * 8) must compute exactly the physical
+    // address of the PTE the walker reads.
+    const auto id = space.mmap(32_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const VirtAddr va = base + rng.below(32_MiB);
+        space.touch(va);
+        const auto t = space.translate(va);
+        ASSERT_TRUE(t.has_value());
+        const AsapPtAllocator::Region *r1 = asap.regionFor(va, 1);
+        ASSERT_NE(r1, nullptr);
+        EXPECT_EQ(r1->entryAddrOf(va), t->pteAddr) << i;
+    }
+}
+
+TEST_F(AsapFixture, Pl2EntryAddrMatchesWalkPath)
+{
+    const auto id = space.mmap(64_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    space.touch(base + 5 * 2_MiB + 0x1234);
+    const PageTable &pt = space.pageTable();
+    // Find the PL2 node by walking.
+    Pfn node = pt.rootPfn();
+    const VirtAddr va = base + 5 * 2_MiB + 0x1234;
+    for (unsigned level = 4; level >= 3; --level)
+        node = pt.readEntry(node, va, level).pfn();
+    const PhysAddr pl2Entry = PageTable::entryPhysAddr(node, va, 2);
+    const AsapPtAllocator::Region *r2 = asap.regionFor(va, 2);
+    ASSERT_NE(r2, nullptr);
+    EXPECT_EQ(r2->entryAddrOf(va), pl2Entry);
+}
+
+TEST_F(AsapFixture, SlotShiftsMatchPaperS1S2)
+{
+    // s1 = 9, s2 = 18 (paper Figure 6), folded with x8 entry size:
+    // entry offset = (va - base) >> 12 << 3 = (va - base) >> 9.
+    const auto id = space.mmap(8_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    const AsapPtAllocator::Region *r1 = asap.regionFor(base, 1);
+    const AsapPtAllocator::Region *r2 = asap.regionFor(base, 2);
+    ASSERT_NE(r1, nullptr);
+    ASSERT_NE(r2, nullptr);
+    const VirtAddr va = base + 0x123000;
+    EXPECT_EQ(r1->entryAddrOf(va) - (r1->basePfn << pageShift),
+              ((va - r1->vaBase) >> 12) * 8);
+    EXPECT_EQ(r2->entryAddrOf(va) - (r2->basePfn << pageShift),
+              ((va - r2->vaBase) >> 21) * 8);
+}
+
+TEST_F(AsapFixture, FallbackToBuddyWithoutRegion)
+{
+    // Exhaust contiguous space so the reservation fails.
+    BuddyAllocator tiny(64, 6);
+    AsapPtAllocator tinyAsap(tiny, {1, 2});
+    AddressSpace tinySpace(tiny, tinyAsap, AddressSpaceConfig{});
+    tinySpace.addObserver(&tinyAsap);
+    // 512MB VMA needs 256 PL1 slots; only 64 frames exist.
+    tinySpace.mmap(512_MiB, "heap", true);
+    EXPECT_GE(tinyAsap.failedReservations(), 1u);
+    // Touch still works through buddy fallback.
+    const Vma *vma = tinySpace.vmas().all()[0];
+    tinySpace.touch(vma->start);
+    EXPECT_TRUE(tinySpace.translate(vma->start).has_value());
+    EXPECT_GT(tinyAsap.fallbackAllocs(), 0u);
+}
+
+TEST_F(AsapFixture, ContiguousRegionCountIsSmall)
+{
+    const auto id = space.mmap(64_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    for (unsigned i = 0; i < 32; ++i)
+        space.touch(base + static_cast<VirtAddr>(i) * 2_MiB);
+    // PL1 nodes form one run; root/PL3/PL2 nodes add a few more.
+    EXPECT_LE(space.pageTable().countContiguousRegions(), 5u);
+}
+
+TEST_F(AsapFixture, HoleFractionMakesSlotsUnbacked)
+{
+    AsapPtAllocator holey(buddy, {1, 2});
+    holey.setHoleFraction(0.5, 7);
+    AddressSpace holeySpace(buddy, holey, AddressSpaceConfig{});
+    holeySpace.addObserver(&holey);
+    const auto id = holeySpace.mmap(64_MiB, "heap", true);
+    const VirtAddr base = holeySpace.vmas().byId(id)->start;
+    unsigned backed = 0;
+    for (unsigned i = 0; i < 32; ++i) {
+        if (holey.slotBacked(base + static_cast<VirtAddr>(i) * 2_MiB, 1))
+            ++backed;
+    }
+    EXPECT_GT(backed, 4u);
+    EXPECT_LT(backed, 28u);
+    // Holes still map correctly through the buddy fallback.
+    for (unsigned i = 0; i < 32; ++i)
+        holeySpace.touch(base + static_cast<VirtAddr>(i) * 2_MiB);
+    EXPECT_GT(holey.fallbackAllocs(), 0u);
+}
+
+TEST_F(AsapFixture, VmaGrowthExtendsRegionInPlace)
+{
+    // Fresh memory: the frames after the region are free, so growth
+    // extends in place.
+    const auto id = space.mmap(8_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    const AsapPtAllocator::Region *r1 = asap.regionFor(base, 1);
+    const Pfn oldBase = r1->basePfn;
+    const std::uint64_t oldBacked = r1->backedSlots;
+    ASSERT_TRUE(space.extendVma(id, 8_MiB));
+    r1 = asap.regionFor(base, 1);
+    EXPECT_EQ(r1->basePfn, oldBase);
+    EXPECT_EQ(r1->backedSlots, oldBacked * 2);
+    EXPECT_EQ(asap.holesCreatedByGrowth(), 0u);
+    // New slices use the extended region, sorted.
+    const VirtAddr grown = base + 8_MiB + 2_MiB;
+    space.touch(grown);
+    const PageTable &pt = space.pageTable();
+    Pfn node = pt.rootPfn();
+    for (unsigned level = 4; level >= 2; --level)
+        node = pt.readEntry(node, grown, level).pfn();
+    EXPECT_EQ(node, r1->basePfn + r1->slotOf(grown));
+}
+
+TEST_F(AsapFixture, VmaGrowthInvariantsHold)
+{
+    const auto id = space.mmap(8_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    // Data frames land after the reserved regions (fresh buddy
+    // allocates upward), so growth exercises the relocation path.
+    for (unsigned i = 0; i < 4; ++i)
+        space.touch(base + static_cast<VirtAddr>(i) * 2_MiB);
+    ASSERT_TRUE(space.extendVma(id, 8_MiB));
+    const AsapPtAllocator::Region *r1 = asap.regionFor(base, 1);
+    // Either the region grew whole (possibly after relocating data
+    // pages), or the grown slots became holes — never both, and the
+    // bookkeeping must be consistent.
+    EXPECT_EQ(r1->slots, 8u);
+    if (r1->backedSlots == r1->slots) {
+        EXPECT_EQ(asap.holesCreatedByGrowth(), 0u);
+    } else {
+        EXPECT_EQ(asap.holesCreatedByGrowth(),
+                  r1->slots - r1->backedSlots);
+    }
+    // Regardless of outcome, pages in the grown area map correctly.
+    const VirtAddr grown = base + 8_MiB + 2_MiB;
+    space.touch(grown);
+    const auto t = space.translate(grown);
+    ASSERT_TRUE(t.has_value());
+    if (asap.slotBacked(grown, 1))
+        EXPECT_EQ(r1->entryAddrOf(grown), t->pteAddr);
+}
+
+TEST(AsapGrowthHoles, PinnedPagesForceHoles)
+{
+    BuddyAllocator buddy(1 << 16);
+    AsapPtAllocator asap(buddy, {1, 2});
+    AddressSpaceConfig config;
+    config.pinnedProb = 1.0;   // every data page is pinned
+    AddressSpace space(buddy, asap, config);
+    space.addObserver(&asap);
+    const auto id = space.mmap(8_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    for (unsigned i = 0; i < 4; ++i)
+        space.touch(base + static_cast<VirtAddr>(i) * 2_MiB);
+    // The pinned data frames sit just past the region; growth cannot
+    // relocate them, so the grown slots become holes.
+    ASSERT_TRUE(space.extendVma(id, 8_MiB));
+    EXPECT_GT(asap.holesCreatedByGrowth(), 0u);
+    // Pages in the grown area still map via buddy fallback.
+    space.touch(base + 8_MiB);
+    EXPECT_TRUE(space.translate(base + 8_MiB).has_value());
+}
+
+/** Property: for random VMA sizes and random touch orders, every
+ *  region-backed PL1 node obeys base+slot placement. */
+class AsapPlacementProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(AsapPlacementProperty, SortedPlacementHolds)
+{
+    BuddyAllocator buddy(1 << 16);
+    AsapPtAllocator asap(buddy, {1, 2});
+    AddressSpace space(buddy, asap, AddressSpaceConfig{});
+    space.addObserver(&asap);
+    Rng rng(GetParam());
+    const std::uint64_t sizeMb = 4 + rng.below(60);
+    const auto id = space.mmap(sizeMb * 1_MiB, "heap", true);
+    const VirtAddr base = space.vmas().byId(id)->start;
+    for (int i = 0; i < 300; ++i) {
+        const VirtAddr va = base + rng.below(sizeMb * 1_MiB);
+        space.touch(va);
+        const auto t = space.translate(va);
+        const AsapPtAllocator::Region *r1 = asap.regionFor(va, 1);
+        ASSERT_NE(r1, nullptr);
+        EXPECT_EQ(r1->entryAddrOf(va), t->pteAddr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsapPlacementProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Integration tests for src/sim + src/workloads: System construction,
+ * Machine translation paths, Simulator statistics, determinism, and
+ * the headline ASAP behaviours end-to-end (small scale).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/environment.hh"
+#include "sim/machine.hh"
+#include "sim/simulator.hh"
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+#include "workloads/synthetic.hh"
+
+using namespace asap;
+
+namespace
+{
+
+/** A small, fast workload spec for integration tests. */
+WorkloadSpec
+tinySpec(bool zipf = false)
+{
+    WorkloadSpec spec;
+    spec.name = "tiny";
+    spec.paperGb = 1.0;
+    spec.residentPages = 20'000;
+    spec.dataVmas = 2;
+    spec.smallVmas = 4;
+    spec.cyclesPerAccess = 3;
+    if (zipf) {
+        spec.zipfTheta = 0.9;
+    } else {
+        spec.windowFraction = 0.6;
+        spec.windowPages = 2'000;
+        spec.nearFraction = 0.1;
+    }
+    spec.linesPerPage = 2;
+    spec.burstContinueProb = 0.5;
+    spec.machineMemBytes = 1_GiB;
+    spec.guestMemBytes = 256_MiB;
+    return spec;
+}
+
+RunConfig
+tinyRun(bool colocation = false)
+{
+    RunConfig config;
+    config.warmupAccesses = 5'000;
+    config.measureAccesses = 20'000;
+    config.colocation = colocation;
+    config.corunnerPerAccess = 3;
+    return config;
+}
+
+} // namespace
+
+TEST(System, NativeConstruction)
+{
+    SystemConfig config;
+    config.machineMemBytes = 256_MiB;
+    System system(config);
+    EXPECT_FALSE(system.virtualized());
+    EXPECT_EQ(system.appPt().levels(), 4u);
+    EXPECT_TRUE(system.appDescriptors().empty());   // baseline placement
+}
+
+TEST(System, AsapPlacementYieldsDescriptors)
+{
+    SystemConfig config;
+    config.machineMemBytes = 256_MiB;
+    config.asapPlacement = true;
+    System system(config);
+    system.mmap(8_MiB, "heap", true);
+    const auto descriptors = system.appDescriptors();
+    ASSERT_EQ(descriptors.size(), 1u);
+    EXPECT_TRUE(descriptors[0].levels[1].valid);
+    EXPECT_TRUE(descriptors[0].levels[2].valid);
+}
+
+TEST(System, DescriptorAddressesMatchWalkerView)
+{
+    SystemConfig config;
+    config.machineMemBytes = 256_MiB;
+    config.asapPlacement = true;
+    System system(config);
+    const auto id = system.mmap(8_MiB, "heap", true);
+    const VirtAddr base = system.appSpace().vmas().byId(id)->start;
+    system.touch(base + 0x5000);
+    const auto descriptors = system.appDescriptors();
+    const auto t = system.appSpace().translate(base + 0x5000);
+    EXPECT_EQ(descriptors[0].levels[1].entryAddrOf(base + 0x5000),
+              t->pteAddr);
+}
+
+TEST(System, VirtualizedHostVmaCoversGuest)
+{
+    SystemConfig config;
+    config.virtualized = true;
+    config.machineMemBytes = 512_MiB;
+    config.guestMemBytes = 128_MiB;
+    System system(config);
+    EXPECT_EQ(system.hostSpace().vmas().size(), 1u);
+    const Vma *vm = system.hostSpace().vmas().all()[0];
+    EXPECT_EQ(vm->start, 0u);
+    EXPECT_EQ(vm->sizeBytes(), 128_MiB);
+    EXPECT_TRUE(vm->prefetchable);
+}
+
+TEST(System, HostDescriptorsForVirtualizedAsap)
+{
+    SystemConfig config;
+    config.virtualized = true;
+    config.asapPlacement = true;
+    config.machineMemBytes = 512_MiB;
+    config.guestMemBytes = 128_MiB;
+    System system(config);
+    const auto hostDescriptors = system.hostDescriptors();
+    ASSERT_EQ(hostDescriptors.size(), 1u);
+    // The host tracks the whole VM as one range (Section 3.6).
+    EXPECT_EQ(hostDescriptors[0].start, 0u);
+    EXPECT_EQ(hostDescriptors[0].end, 128_MiB);
+}
+
+TEST(Machine, TlbHitAfterWalk)
+{
+    SystemConfig config;
+    config.machineMemBytes = 256_MiB;
+    System system(config);
+    const auto id = system.mmap(1_MiB, "heap", true);
+    const VirtAddr va = system.appSpace().vmas().byId(id)->start;
+    system.touch(va);
+    Machine machine(system, MachineConfig{});
+    const auto first = machine.translate(va, 0);
+    EXPECT_EQ(first.tlbLevel, TlbHitLevel::Miss);
+    EXPECT_TRUE(first.walked);
+    const auto second = machine.translate(va, 1000);
+    EXPECT_EQ(second.tlbLevel, TlbHitLevel::L1);
+    EXPECT_EQ(second.translation.pfn, first.translation.pfn);
+}
+
+TEST(Machine, FaultServicedTransparently)
+{
+    SystemConfig config;
+    config.machineMemBytes = 256_MiB;
+    System system(config);
+    const auto id = system.mmap(1_MiB, "heap", true);
+    const VirtAddr va = system.appSpace().vmas().byId(id)->start;
+    // No touch: first access faults, OS services it, walk replays.
+    Machine machine(system, MachineConfig{});
+    const auto result = machine.translate(va, 0);
+    EXPECT_TRUE(result.faulted);
+    EXPECT_FALSE(result.translation.pfn == invalidPfn);
+    EXPECT_EQ(machine.faults(), 1u);
+    const auto t = system.appSpace().translate(va);
+    EXPECT_EQ(result.translation.pfn, t->pfn);
+}
+
+TEST(Simulator, StatsAreConsistent)
+{
+    Environment env(tinySpec());
+    const RunStats stats = env.run(makeMachineConfig(), tinyRun());
+    EXPECT_EQ(stats.accesses, 20'000u);
+    EXPECT_EQ(stats.tlbL1Hits + stats.tlbL2Hits + stats.tlbMisses,
+              stats.accesses);
+    EXPECT_EQ(stats.walkLatency.count(), stats.tlbMisses);
+    EXPECT_EQ(stats.totalCycles,
+              stats.computeCycles + stats.dataCycles + stats.walkCycles);
+    EXPECT_GT(stats.tlbMisses, 0u);
+    EXPECT_GT(stats.avgWalkLatency(), 0.0);
+    EXPECT_LE(stats.walkCycleFraction(), 1.0);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    Environment env1(tinySpec());
+    Environment env2(tinySpec());
+    const RunStats a = env1.run(makeMachineConfig(), tinyRun());
+    const RunStats b = env2.run(makeMachineConfig(), tinyRun());
+    EXPECT_EQ(a.tlbMisses, b.tlbMisses);
+    EXPECT_EQ(a.walkLatency.sum(), b.walkLatency.sum());
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+}
+
+TEST(Simulator, SeedChangesStream)
+{
+    Environment env(tinySpec());
+    RunConfig run = tinyRun();
+    const RunStats a = env.run(makeMachineConfig(), run);
+    run.seed = 12345;
+    const RunStats b = env.run(makeMachineConfig(), run);
+    EXPECT_NE(a.walkLatency.sum(), b.walkLatency.sum());
+}
+
+TEST(Simulator, PerfectTlbHasNoWalks)
+{
+    Environment env(tinySpec());
+    RunConfig run = tinyRun();
+    run.perfectTlb = true;
+    const RunStats stats = env.run(makeMachineConfig(), run);
+    EXPECT_EQ(stats.tlbMisses, 0u);
+    EXPECT_EQ(stats.walkCycles, 0u);
+    EXPECT_GT(stats.totalCycles, 0u);
+}
+
+TEST(Simulator, ColocationIncreasesWalkLatency)
+{
+    Environment env(tinySpec());
+    const RunStats iso = env.run(makeMachineConfig(), tinyRun(false));
+    const RunStats coloc = env.run(makeMachineConfig(), tinyRun(true));
+    EXPECT_GT(coloc.avgWalkLatency(), iso.avgWalkLatency());
+}
+
+TEST(Simulator, VirtualizationIncreasesWalkLatency)
+{
+    Environment native(tinySpec());
+    EnvironmentOptions virtOptions;
+    virtOptions.virtualized = true;
+    Environment virt(tinySpec(), virtOptions);
+    const RunStats n = native.run(makeMachineConfig(), tinyRun());
+    const RunStats v = virt.run(makeMachineConfig(), tinyRun());
+    EXPECT_GT(v.avgWalkLatency(), 1.5 * n.avgWalkLatency());
+}
+
+TEST(Simulator, AsapReducesNativeWalkLatency)
+{
+    EnvironmentOptions asapOptions;
+    asapOptions.asapPlacement = true;
+    Environment baseline(tinySpec());
+    Environment asap(tinySpec(), asapOptions);
+    const RunStats base = baseline.run(makeMachineConfig(), tinyRun());
+    const RunStats p1 =
+        asap.run(makeMachineConfig(AsapConfig::p1()), tinyRun());
+    const RunStats p1p2 =
+        asap.run(makeMachineConfig(AsapConfig::p1p2()), tinyRun());
+    EXPECT_LT(p1.avgWalkLatency(), base.avgWalkLatency());
+    EXPECT_LE(p1p2.avgWalkLatency(), p1.avgWalkLatency() * 1.02);
+}
+
+TEST(Simulator, AsapGainsLargerUnderVirtualization)
+{
+    EnvironmentOptions baseVirt;
+    baseVirt.virtualized = true;
+    EnvironmentOptions asapVirt = baseVirt;
+    asapVirt.asapPlacement = true;
+    Environment baseline(tinySpec(), baseVirt);
+    Environment asap(tinySpec(), asapVirt);
+    const RunStats base = baseline.run(makeMachineConfig(), tinyRun());
+    const RunStats guestOnly = asap.run(
+        makeMachineConfig(AsapConfig::p1p2()), tinyRun());
+    const RunStats both = asap.run(
+        makeMachineConfig(AsapConfig::p1p2(), AsapConfig::p1p2()),
+        tinyRun());
+    EXPECT_LT(guestOnly.avgWalkLatency(), base.avgWalkLatency());
+    EXPECT_LT(both.avgWalkLatency(), guestOnly.avgWalkLatency());
+}
+
+TEST(Simulator, ClusteredTlbReducesMisses)
+{
+    Environment env(tinySpec());
+    MachineConfig clustered;
+    clustered.tlb.clusteredL2 = true;
+    const RunStats plain = env.run(makeMachineConfig(), tinyRun());
+    const RunStats coalesced = env.run(clustered, tinyRun());
+    EXPECT_LT(coalesced.tlbMisses, plain.tlbMisses);
+}
+
+TEST(Simulator, PwcScalingHasMarginalEffect)
+{
+    // Section 5.1.1: doubling PWC capacity buys only a few percent.
+    Environment env(tinySpec());
+    MachineConfig big;
+    big.pwcScale = 2;
+    const RunStats normal = env.run(makeMachineConfig(), tinyRun());
+    const RunStats scaled = env.run(big, tinyRun());
+    EXPECT_LE(scaled.avgWalkLatency(), normal.avgWalkLatency());
+    EXPECT_GT(scaled.avgWalkLatency(), 0.8 * normal.avgWalkLatency());
+}
+
+TEST(Workload, AddressesStayInsideVmas)
+{
+    Environment env(tinySpec(true));
+    Workload &workload = env.workload();
+    Rng rng(3);
+    workload.reset(rng);
+    for (int i = 0; i < 10'000; ++i) {
+        const VirtAddr va = workload.next(rng);
+        EXPECT_NE(env.system().appSpace().vmas().find(va), nullptr);
+    }
+}
+
+TEST(Workload, PrefaultedSoNoMeasureFaults)
+{
+    Environment env(tinySpec());
+    const RunStats stats = env.run(makeMachineConfig(), tinyRun());
+    EXPECT_EQ(stats.faults, 0u);
+}
+
+TEST(Workload, BurstsRepeatPages)
+{
+    WorkloadSpec spec = tinySpec();
+    spec.burstContinueProb = 0.9;
+    Environment env(spec);
+    Workload &workload = env.workload();
+    Rng rng(5);
+    workload.reset(rng);
+    unsigned samePage = 0;
+    VirtAddr prev = workload.next(rng);
+    for (int i = 0; i < 2000; ++i) {
+        const VirtAddr va = workload.next(rng);
+        if (vpnOf(va) == vpnOf(prev))
+            ++samePage;
+        prev = va;
+    }
+    EXPECT_GT(samePage, 1400u);   // ~90% continuation
+}
+
+TEST(Suite, AllSpecsAreWellFormed)
+{
+    const auto suite = standardSuite();
+    ASSERT_EQ(suite.size(), 7u);
+    for (const WorkloadSpec &spec : suite) {
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_GT(spec.residentPages, 0u);
+        EXPECT_GE(spec.dataVmas, 1u);
+        EXPECT_LE(spec.seqFraction + spec.nearFraction +
+                      spec.windowFraction,
+                  1.0);
+        EXPECT_GT(spec.machineMemBytes,
+                  spec.residentPages * pageSize);
+        // Guest memory must hold the resident set for virt scenarios.
+        EXPECT_GT(spec.guestMemBytes, spec.residentPages * pageSize);
+    }
+}
+
+TEST(Suite, SpecByName)
+{
+    EXPECT_TRUE(specByName("mcf").has_value());
+    EXPECT_TRUE(specByName("mc400").has_value());
+    EXPECT_FALSE(specByName("nope").has_value());
+}
+
+TEST(Suite, ScaledDownShrinks)
+{
+    const WorkloadSpec full = mcfSpec();
+    const WorkloadSpec quarter = scaledDown(full, 4);
+    EXPECT_EQ(quarter.residentPages, full.residentPages / 4);
+    EXPECT_LE(quarter.windowPages, full.windowPages);
+}
+
+TEST(Suite, Table2VmaCounts)
+{
+    // Table 2 of the paper: total VMA counts per application.
+    struct Expected { const char *name; unsigned total; };
+    const Expected expected[] = {
+        {"mcf", 16}, {"canneal", 18}, {"bfs", 14}, {"pagerank", 18},
+        {"mc80", 26}, {"mc400", 33}, {"redis", 7},
+    };
+    for (const auto &[name, total] : expected) {
+        const auto spec = specByName(name);
+        ASSERT_TRUE(spec.has_value()) << name;
+        EXPECT_EQ(spec->smallVmas + spec->dataVmas, total) << name;
+    }
+}
+
+/** Parameterized: every ASAP config yields identical translations to
+ *  the baseline (end-to-end safety property). */
+class AsapSafety : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AsapSafety, TranslationsIdenticalWithAndWithoutAsap)
+{
+    EnvironmentOptions asapOptions;
+    asapOptions.asapPlacement = true;
+    asapOptions.holeFraction = GetParam() == 2 ? 0.3 : 0.0;
+    Environment env(tinySpec(), asapOptions);
+    Machine plain(env.system(), makeMachineConfig());
+    Machine accelerated(env.system(),
+                        makeMachineConfig(AsapConfig::p1p2()));
+    Rng rng(23);
+    Workload &workload = env.workload();
+    workload.reset(rng);
+    for (int i = 0; i < 3000; ++i) {
+        const VirtAddr va = workload.next(rng);
+        const auto a = plain.translate(va, static_cast<Cycles>(i) * 10);
+        const auto b =
+            accelerated.translate(va, static_cast<Cycles>(i) * 10);
+        ASSERT_EQ(a.translation.pfn, b.translation.pfn) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, AsapSafety, ::testing::Values(1, 2));
