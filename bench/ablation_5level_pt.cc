@@ -5,40 +5,49 @@
  * prefetch (P1+P2+P3) and hides most of the extra depth.
  */
 
-#include "bench_common.hh"
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
 
-using namespace asapbench;
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    const std::vector<std::string> columns = {"4L base", "5L base",
+                                              "5L P1+P2", "5L +P3"};
+    SweepSpec sweep("ablation_5level_pt");
+    const RunConfig run = defaultRunConfig(false);
 
-    for (const char *name : {"mcf", "mc80", "redis"}) {
-        const auto spec = specByName(name);
-
-        Environment base4(*spec);
-        EnvironmentOptions options5;
-        options5.ptLevels = 5;
-        Environment base5(*spec, options5);
-        EnvironmentOptions asap5 = options5;
+    for (const WorkloadSpec &spec :
+         specsByNames({"mcf", "mc80", "redis"})) {
+        EnvironmentOptions base4;
+        EnvironmentOptions base5;
+        base5.ptLevels = 5;
+        EnvironmentOptions asap5 = base5;
         asap5.asapPlacement = true;
         asap5.asapLevels = {1, 2, 3};
-        Environment accel5(*spec, asap5);
 
-        const RunConfig run = defaultRunConfig(false);
-        rows.push_back(
-            {*&spec->name,
-             {base4.run(makeMachineConfig(), run).avgWalkLatency(),
-              base5.run(makeMachineConfig(), run).avgWalkLatency(),
-              accel5.run(makeMachineConfig(AsapConfig::p1p2()), run)
-                  .avgWalkLatency(),
-              accel5.run(makeMachineConfig(AsapConfig::p1p2p3()), run)
-                  .avgWalkLatency()}});
-        std::fprintf(stderr, "  %s done\n", name);
+        sweep.add(spec, base4, makeMachineConfig(), run, spec.name,
+                  "4L base");
+        sweep.add(spec, base5, makeMachineConfig(), run, spec.name,
+                  "5L base");
+        sweep.add(spec, asap5, makeMachineConfig(AsapConfig::p1p2()), run,
+                  spec.name, "5L P1+P2");
+        sweep.add(spec, asap5, makeMachineConfig(AsapConfig::p1p2p3()),
+                  run, spec.name, "5L +P3");
     }
-    rows.push_back(averageRow(rows));
-    printTable("Ablation A2: five-level page tables (native, isolation)",
-               {"4L base", "5L base", "5L P1+P2", "5L +P3"}, rows);
+    const ResultSet results = SweepRunner().run(sweep);
+
+    ResultTable table("Ablation A2: five-level page tables (native, "
+                      "isolation)",
+                      columns);
+    for (const std::string &row : results.rowLabels()) {
+        table.addRow(row,
+                     results.rowValues(row, columns));
+    }
+    table.addAverageRow();
+    emit(sweep.name(), table);
+    emitCells(sweep.name(), results);
     return 0;
 }

@@ -7,36 +7,46 @@
  * degrading gracefully toward the baseline.
  */
 
-#include "bench_common.hh"
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
 
-using namespace asapbench;
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    const auto spec = specByName("mc80");
-    Environment baseline(*spec);
-    const double base =
-        baseline.run(makeMachineConfig(), defaultRunConfig(false))
-            .avgWalkLatency();
+    const std::vector<double> holeFractions = {0.0, 0.1, 0.25,
+                                               0.5, 0.75, 1.0};
+    SweepSpec sweep("ablation_pt_holes");
+    const WorkloadSpec spec = *specByName("mc80");
+    const RunConfig run = defaultRunConfig(false);
 
-    std::vector<std::pair<std::string, std::vector<double>>> rows;
-    for (const double holes : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    EnvironmentOptions baseOptions;
+    sweep.add(spec, baseOptions, makeMachineConfig(), run, "baseline",
+              "walk");
+    for (const double holes : holeFractions) {
         EnvironmentOptions options;
         options.asapPlacement = true;
         options.holeFraction = holes;
-        Environment env(*spec, options);
-        const RunStats stats =
-            env.run(makeMachineConfig(AsapConfig::p1p2()),
-                    defaultRunConfig(false));
-        rows.push_back({strprintf("%.0f%%", 100 * holes),
-                        {stats.avgWalkLatency(),
-                         reductionPct(base, stats.avgWalkLatency())}});
-        std::fprintf(stderr, "  holes=%.2f done\n", holes);
+        sweep.add(spec, options, makeMachineConfig(AsapConfig::p1p2()),
+                  run, strprintf("%.0f%%", 100 * holes), "walk");
     }
-    printTable(strprintf("Ablation A3: PT-region holes (mc80; baseline "
-                         "%.1f cycles)",
-                         base),
-               {"walk cyc", "red. %"}, rows);
+    const ResultSet results = SweepRunner().run(sweep);
+
+    const double base = results.stats("baseline", "walk").avgWalkLatency();
+    ResultTable table(strprintf("Ablation A3: PT-region holes (mc80; "
+                                "baseline %.1f cycles)",
+                                base),
+                      {"walk cyc", "red. %"});
+    for (const double holes : holeFractions) {
+        const double walk =
+            results.stats(strprintf("%.0f%%", 100 * holes), "walk")
+                .avgWalkLatency();
+        table.addRow(strprintf("%.0f%%", 100 * holes),
+                     {walk, reductionPct(base, walk)});
+    }
+    emit(sweep.name(), table);
+    emitCells(sweep.name(), results);
     return 0;
 }

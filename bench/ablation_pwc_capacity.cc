@@ -6,40 +6,51 @@
  * (virtualized) from doubling each PWC.
  */
 
-#include "bench_common.hh"
+#include <cstdio>
 
-using namespace asapbench;
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    const std::vector<std::string> columns = {"nat x1", "nat x2",
+                                              "nat x4", "virt x1",
+                                              "virt x2", "virt x4"};
+    SweepSpec sweep("ablation_pwc_capacity");
+    const RunConfig run = defaultRunConfig(false);
 
-    for (const char *name : {"mcf", "mc80", "redis"}) {
-        const auto spec = specByName(name);
-        Environment native(*spec);
-        EnvironmentOptions virtOptions;
-        virtOptions.virtualized = true;
-        Environment virtualized(*spec, virtOptions);
-
-        std::vector<double> values;
-        for (Environment *env : {&native, &virtualized}) {
-            for (const unsigned scale : {1u, 2u, 4u}) {
-                MachineConfig config = makeMachineConfig();
-                config.pwcScale = scale;
-                values.push_back(env->run(config, defaultRunConfig(false))
-                                     .avgWalkLatency());
-            }
+    for (const WorkloadSpec &spec :
+         specsByNames({"mcf", "mc80", "redis"})) {
+        EnvironmentOptions native;
+        EnvironmentOptions virtualized;
+        virtualized.virtualized = true;
+        for (const unsigned scale : {1u, 2u, 4u}) {
+            MachineConfig config = makeMachineConfig();
+            config.pwcScale = scale;
+            sweep.add(spec, native, config, run, spec.name,
+                      strprintf("nat x%u", scale));
+            sweep.add(spec, virtualized, config, run, spec.name,
+                      strprintf("virt x%u", scale));
         }
-        rows.push_back({*&spec->name, values});
-        std::fprintf(stderr, "  %s done\n", name);
     }
-    rows.push_back(averageRow(rows));
-    printTable("Ablation A1: PWC capacity scaling (walk latency, cycles)",
-               {"nat x1", "nat x2", "nat x4", "virt x1", "virt x2",
-                "virt x4"},
-               rows);
-    const auto &avg = rows.back().second;
+    const ResultSet results = SweepRunner().run(sweep);
+
+    ResultTable table("Ablation A1: PWC capacity scaling (walk latency, "
+                      "cycles)",
+                      columns);
+    for (const std::string &row : results.rowLabels()) {
+        table.addRow(row,
+                     results.rowValues(row, columns));
+    }
+    table.addAverageRow();
+    emit(sweep.name(), table);
+    emitCells(sweep.name(), results);
+
+    const auto &avg = table.rows().back().second;
     std::printf("\ndoubling PWCs buys %.1f%% native / %.1f%% virtualized "
                 "(paper: ~2%% / ~3%%)\n",
                 reductionPct(avg[0], avg[1]),

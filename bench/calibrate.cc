@@ -12,10 +12,11 @@
 #include <string>
 #include <vector>
 
-#include "sim/environment.hh"
-#include "workloads/suite.hh"
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
 
 using namespace asap;
+using namespace asap::exp;
 
 namespace
 {
@@ -43,48 +44,34 @@ report(const char *tag, const RunStats &stats, bool breakdown = false)
     }
 }
 
-void
-calibrate(const WorkloadSpec &spec)
+/** The (config tag, machine) pairs measured in one scenario quadrant. */
+std::vector<std::pair<std::string, bool>>   // (tag, usesAsapEnv)
+quadrantTags(bool virtualized)
 {
-    std::printf("== %s (paper %.0fGB, %lu pages) ==\n", spec.name.c_str(),
-                spec.paperGb, applyQuickMode(spec).residentPages);
+    if (!virtualized)
+        return {{"baseline", false}, {"P1", true}, {"P1+P2", true}};
+    return {{"baseline", false},
+            {"P1g+P2g", true},
+            {"P1g+P1h+P2g+P2h", true}};
+}
 
-    for (const bool virtualized : {false, true}) {
-        // Baseline placement environment.
-        EnvironmentOptions base;
-        base.virtualized = virtualized;
-        Environment baseEnv(spec, base);
+MachineConfig
+machineFor(const std::string &tag)
+{
+    if (tag == "P1")
+        return makeMachineConfig(AsapConfig::p1());
+    if (tag == "P1+P2" || tag == "P1g+P2g")
+        return makeMachineConfig(AsapConfig::p1p2());
+    if (tag == "P1g+P1h+P2g+P2h")
+        return makeMachineConfig(AsapConfig::p1p2(), AsapConfig::p1p2());
+    return makeMachineConfig();
+}
 
-        EnvironmentOptions asapOpts = base;
-        asapOpts.asapPlacement = true;
-        Environment asapEnv(spec, asapOpts);
-
-        for (const bool colocation : {false, true}) {
-            const RunConfig run = defaultRunConfig(colocation);
-            const char *mode = virtualized
-                                   ? (colocation ? "virt+coloc" : "virt")
-                                   : (colocation ? "native+coloc"
-                                                 : "native");
-            std::printf(" [%s]\n", mode);
-
-            report("baseline",
-                   baseEnv.run(makeMachineConfig(), run),
-                   /*breakdown=*/!virtualized);
-            if (!virtualized) {
-                report("P1", asapEnv.run(
-                           makeMachineConfig(AsapConfig::p1()), run));
-                report("P1+P2", asapEnv.run(
-                           makeMachineConfig(AsapConfig::p1p2()), run));
-            } else {
-                report("P1g+P2g", asapEnv.run(
-                           makeMachineConfig(AsapConfig::p1p2()), run));
-                report("P1g+P1h+P2g+P2h",
-                       asapEnv.run(makeMachineConfig(AsapConfig::p1p2(),
-                                                     AsapConfig::p1p2()),
-                                   run));
-            }
-        }
-    }
+std::string
+modeName(bool virtualized, bool colocation)
+{
+    return virtualized ? (colocation ? "virt+coloc" : "virt")
+                       : (colocation ? "native+coloc" : "native");
 }
 
 } // namespace
@@ -97,14 +84,49 @@ main(int argc, char **argv)
         names.emplace_back(argv[i]);
     if (names.empty())
         names = {"mcf", "redis"};
+    const std::vector<WorkloadSpec> specs = specsByNames(names);
 
-    for (const std::string &name : names) {
-        const auto spec = specByName(name);
-        if (!spec) {
-            std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
-            return 1;
+    SweepSpec sweep("calibrate");
+    for (const WorkloadSpec &spec : specs) {
+        for (const bool virtualized : {false, true}) {
+            EnvironmentOptions base;
+            base.virtualized = virtualized;
+            EnvironmentOptions asapOpts = base;
+            asapOpts.asapPlacement = true;
+
+            for (const bool colocation : {false, true}) {
+                const std::string row =
+                    spec.name + "/" + modeName(virtualized, colocation);
+                for (const auto &[tag, usesAsap] :
+                     quadrantTags(virtualized)) {
+                    sweep.add(spec, usesAsap ? asapOpts : base,
+                              machineFor(tag),
+                              defaultRunConfig(colocation), row, tag);
+                }
+            }
         }
-        calibrate(*spec);
     }
+    const ResultSet results = SweepRunner().run(sweep);
+
+    for (const WorkloadSpec &spec : specs) {
+        std::printf("== %s (paper %.0fGB, %lu pages) ==\n",
+                    spec.name.c_str(), spec.paperGb,
+                    applyQuickMode(spec).residentPages);
+        for (const bool virtualized : {false, true}) {
+            for (const bool colocation : {false, true}) {
+                const std::string mode =
+                    modeName(virtualized, colocation);
+                std::printf(" [%s]\n", mode.c_str());
+                const std::string row = spec.name + "/" + mode;
+                for (const auto &[tag, usesAsap] :
+                     quadrantTags(virtualized)) {
+                    report(tag.c_str(), results.stats(row, tag),
+                           /*breakdown=*/!virtualized &&
+                               tag == "baseline");
+                }
+            }
+        }
+    }
+    emitCells(sweep.name(), results);
     return 0;
 }

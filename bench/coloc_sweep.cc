@@ -1,21 +1,47 @@
-#include "sim/environment.hh"
-#include "workloads/suite.hh"
-#include <cstdio>
+/**
+ * @file
+ * Sweep of co-runner memory intensity (corunnerPerAccess 0/1/2) across
+ * native and virtualized execution — the knob behind the paper's
+ * colocation scenarios.
+ */
+
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+
 using namespace asap;
-int main(int argc, char** argv){
-  for (const char* name : {"mcf", "bfs", "mc80", "mc400", "redis"}) {
-    auto spec = *specByName(name);
-    EnvironmentOptions base;
-    Environment envN(spec, base);
-    EnvironmentOptions virt = base; virt.virtualized = true;
-    Environment envV(spec, virt);
-    for (unsigned ratio : {0u, 1u, 2u}) {
-      RunConfig run = defaultRunConfig(ratio > 0);
-      run.corunnerPerAccess = ratio;
-      auto sn = envN.run(makeMachineConfig(), run);
-      auto sv = envV.run(makeMachineConfig(), run);
-      std::printf("%-6s ratio=%u  native walk=%7.1f  virt walk=%7.1f\n",
-        name, ratio, sn.avgWalkLatency(), sv.avgWalkLatency());
+using namespace asap::exp;
+
+int
+main()
+{
+    const std::vector<std::string> columns = {
+        "nat r0", "nat r1", "nat r2", "virt r0", "virt r1", "virt r2"};
+    SweepSpec sweep("coloc_sweep");
+
+    for (const WorkloadSpec &spec :
+         specsByNames({"mcf", "bfs", "mc80", "mc400", "redis"})) {
+        EnvironmentOptions native;
+        EnvironmentOptions virtualized;
+        virtualized.virtualized = true;
+        for (const unsigned ratio : {0u, 1u, 2u}) {
+            RunConfig run = defaultRunConfig(ratio > 0);
+            run.corunnerPerAccess = ratio;
+            sweep.add(spec, native, makeMachineConfig(), run, spec.name,
+                      strprintf("nat r%u", ratio));
+            sweep.add(spec, virtualized, makeMachineConfig(), run,
+                      spec.name, strprintf("virt r%u", ratio));
+        }
     }
-  }
+    const ResultSet results = SweepRunner().run(sweep);
+
+    ResultTable table("Colocation sweep: avg walk latency vs co-runner "
+                      "intensity",
+                      columns);
+    for (const std::string &row : results.rowLabels()) {
+        table.addRow(row,
+                     results.rowValues(row, columns));
+    }
+    emit(sweep.name(), table);
+    emitCells(sweep.name(), results);
+    return 0;
 }

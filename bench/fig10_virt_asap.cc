@@ -9,56 +9,70 @@
  * on mc400 under colocation).
  */
 
-#include "bench_common.hh"
+#include <cstdio>
 
-using namespace asapbench;
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    std::vector<std::pair<std::string, std::vector<double>>> iso, coloc;
+    const std::vector<std::string> columns = {"Baseline", "P1g",
+                                              "P1g+P2g", "P1g+P1h",
+                                              "all-4"};
+    SweepSpec sweep("fig10_virt_asap");
+
+    const std::vector<std::pair<std::string, MachineConfig>> machines = {
+        {"Baseline", makeMachineConfig()},
+        {"P1g", makeMachineConfig(AsapConfig::p1())},
+        {"P1g+P2g", makeMachineConfig(AsapConfig::p1p2())},
+        {"P1g+P1h", makeMachineConfig(AsapConfig::p1(), AsapConfig::p1())},
+        {"all-4",
+         makeMachineConfig(AsapConfig::p1p2(), AsapConfig::p1p2())},
+    };
 
     for (const WorkloadSpec &spec : standardSuite()) {
         EnvironmentOptions baseOptions;
         baseOptions.virtualized = true;
-        Environment baseline(spec, baseOptions);
         EnvironmentOptions asapOptions = baseOptions;
         asapOptions.asapPlacement = true;
-        Environment asap(spec, asapOptions);
-
-        const MachineConfig configs[] = {
-            makeMachineConfig(),                                  // base
-            makeMachineConfig(AsapConfig::p1()),                  // P1g
-            makeMachineConfig(AsapConfig::p1p2()),                // +P2g
-            makeMachineConfig(AsapConfig::p1(), AsapConfig::p1()),// P1g+P1h
-            makeMachineConfig(AsapConfig::p1p2(), AsapConfig::p1p2()),
-        };
 
         for (const bool colocation : {false, true}) {
             const RunConfig run = defaultRunConfig(colocation);
-            std::vector<double> values;
-            values.push_back(baseline.run(configs[0], run)
-                                 .avgWalkLatency());
-            for (int c = 1; c < 5; ++c)
-                values.push_back(asap.run(configs[c], run)
-                                     .avgWalkLatency());
-            (colocation ? coloc : iso).push_back({spec.name, values});
+            const std::string row =
+                spec.name + (colocation ? "/coloc" : "");
+            for (const auto &[column, machine] : machines) {
+                // The Baseline column measures buddy PT placement; all
+                // ASAP columns measure the ASAP-placement environment.
+                sweep.add(spec,
+                          column == "Baseline" ? baseOptions : asapOptions,
+                          machine, run, row, column);
+            }
         }
-        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
     }
-    iso.push_back(averageRow(iso));
-    coloc.push_back(averageRow(coloc));
+    const ResultSet results = SweepRunner().run(sweep);
 
-    const std::vector<std::string> columns = {"Baseline", "P1g",
-                                              "P1g+P2g", "P1g+P1h",
-                                              "all-4"};
-    printTable("Figure 10a: virtualized walk latency in isolation",
-               columns, iso);
-    printTable("Figure 10b: virtualized walk latency under colocation",
-               columns, coloc);
+    ResultTable iso("Figure 10a: virtualized walk latency in isolation",
+                    columns);
+    ResultTable coloc("Figure 10b: virtualized walk latency under "
+                      "colocation",
+                      columns);
+    for (const WorkloadSpec &spec : standardSuite()) {
+        iso.addRow(spec.name, results.rowValues(spec.name, columns));
+        coloc.addRow(spec.name,
+                     results.rowValues(spec.name + "/coloc", columns));
+    }
+    iso.addAverageRow();
+    coloc.addAverageRow();
+    emit("fig10_virt_asap_iso", iso);
+    emit("fig10_virt_asap_coloc", coloc);
+    emitCells(sweep.name(), results);
 
-    const auto &avgIso = iso.back().second;
-    const auto &avgColoc = coloc.back().second;
+    const auto &avgIso = iso.rows().back().second;
+    const auto &avgColoc = coloc.rows().back().second;
     std::printf("\nASAP reduction (avg) iso: P1g %.0f%% (paper 13), "
                 "P1g+P2g %.0f%% (15), P1g+P1h %.0f%% (35), all "
                 "%.0f%% (39)\n",

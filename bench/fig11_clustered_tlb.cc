@@ -10,60 +10,70 @@
  * shortens long walks (~14% avg), and the two compose (~22% avg).
  */
 
-#include "bench_common.hh"
+#include <cstdio>
 
-using namespace asapbench;
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    std::vector<std::pair<std::string, std::vector<double>>> mpkiRows;
-    std::vector<std::pair<std::string, std::vector<double>>> cycleRows;
+    SweepSpec sweep("fig11_clustered_tlb");
+
+    MachineConfig plain = makeMachineConfig();
+    MachineConfig clustered = makeMachineConfig();
+    clustered.tlb.clusteredL2 = true;
+    MachineConfig asap = makeMachineConfig(AsapConfig::p1p2());
+    MachineConfig both = asap;
+    both.tlb.clusteredL2 = true;
 
     for (const WorkloadSpec &spec : standardSuite()) {
-        Environment baselineEnv(spec);
+        EnvironmentOptions baseOptions;
         EnvironmentOptions asapOptions;
         asapOptions.asapPlacement = true;
-        Environment asapEnv(spec, asapOptions);
-
-        MachineConfig plain = makeMachineConfig();
-        MachineConfig clustered = makeMachineConfig();
-        clustered.tlb.clusteredL2 = true;
-        MachineConfig asap = makeMachineConfig(AsapConfig::p1p2());
-        MachineConfig both = asap;
-        both.tlb.clusteredL2 = true;
-
         const RunConfig run = defaultRunConfig(false);
-        const RunStats base = baselineEnv.run(plain, run);
-        const RunStats clust = baselineEnv.run(clustered, run);
-        const RunStats accel = asapEnv.run(asap, run);
-        const RunStats combo = asapEnv.run(both, run);
 
-        mpkiRows.push_back(
-            {spec.name, {reductionPct(base.mpka(), clust.mpka())}});
-        const double baseCycles =
-            static_cast<double>(base.walkCycles);
-        cycleRows.push_back(
-            {spec.name,
-             {reductionPct(baseCycles,
-                           static_cast<double>(clust.walkCycles)),
-              reductionPct(baseCycles,
-                           static_cast<double>(accel.walkCycles)),
-              reductionPct(baseCycles,
-                           static_cast<double>(combo.walkCycles))}});
-        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
+        sweep.add(spec, baseOptions, plain, run, spec.name, "base");
+        sweep.add(spec, baseOptions, clustered, run, spec.name,
+                  "clustered");
+        sweep.add(spec, asapOptions, asap, run, spec.name, "asap");
+        sweep.add(spec, asapOptions, both, run, spec.name, "both");
     }
-    mpkiRows.push_back(averageRow(mpkiRows));
-    cycleRows.push_back(averageRow(cycleRows));
+    const ResultSet results = SweepRunner().run(sweep);
 
-    printTable("Table 7: TLB MPKI reduction with Clustered TLB (%)",
-               {"MPKI red."}, mpkiRows);
+    ResultTable mpki("Table 7: TLB MPKI reduction with Clustered TLB (%)",
+                     {"MPKI red."});
+    ResultTable cycles("Figure 11: reduction in page-walk cycles (%)",
+                       {"Clustered", "ASAP", "Clust+ASAP"});
+    for (const std::string &row : results.rowLabels()) {
+        const RunStats &base = results.stats(row, "base");
+        const RunStats &clust = results.stats(row, "clustered");
+        const RunStats &accel = results.stats(row, "asap");
+        const RunStats &combo = results.stats(row, "both");
+
+        mpki.addRow(row, {reductionPct(base.mpka(), clust.mpka())});
+        const double baseCycles = static_cast<double>(base.walkCycles);
+        cycles.addRow(
+            row,
+            {reductionPct(baseCycles,
+                          static_cast<double>(clust.walkCycles)),
+             reductionPct(baseCycles,
+                          static_cast<double>(accel.walkCycles)),
+             reductionPct(baseCycles,
+                          static_cast<double>(combo.walkCycles))});
+    }
+    mpki.addAverageRow();
+    cycles.addAverageRow();
+
+    emit("table7_clustered_mpki", mpki);
     std::printf("paper: mcf 58, canneal 48, bfs 10, pagerank 16, "
                 "mc80 4, mc400 9, redis 12 (avg 15)\n");
-
-    printTable("Figure 11: reduction in page-walk cycles (%)",
-               {"Clustered", "ASAP", "Clust+ASAP"}, cycleRows);
+    emit("fig11_clustered_tlb", cycles);
     std::printf("paper averages: Clustered 5, ASAP 14, combined 22 "
                 "(max 41 on canneal)\n");
+    emitCells(sweep.name(), results);
     return 0;
 }

@@ -10,45 +10,56 @@
  * ~2.6x.
  */
 
-#include "bench_common.hh"
+#include <cstdio>
 
-using namespace asapbench;
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    const std::vector<std::string> columns = {"Base iso", "ASAP iso",
+                                              "Base col", "ASAP col"};
+    SweepSpec sweep("fig12_hugepages");
+
+    const MachineConfig base = makeMachineConfig();
+    // Guest P1+P2; host P2 only (no host PL1 with 2MB pages).
+    const MachineConfig accel =
+        makeMachineConfig(AsapConfig::p1p2(), AsapConfig::p2());
 
     for (const WorkloadSpec &spec : standardSuite()) {
         EnvironmentOptions baseOptions;
         baseOptions.virtualized = true;
         baseOptions.hostHugePages = true;
-        Environment baseline(spec, baseOptions);
         EnvironmentOptions asapOptions = baseOptions;
         asapOptions.asapPlacement = true;
-        Environment asap(spec, asapOptions);
 
-        const MachineConfig base = makeMachineConfig();
-        // Guest P1+P2; host P2 only (no host PL1 with 2MB pages).
-        const MachineConfig accel =
-            makeMachineConfig(AsapConfig::p1p2(), AsapConfig::p2());
-
-        rows.push_back(
-            {spec.name,
-             {baseline.run(base, defaultRunConfig(false))
-                  .avgWalkLatency(),
-              asap.run(accel, defaultRunConfig(false)).avgWalkLatency(),
-              baseline.run(base, defaultRunConfig(true))
-                  .avgWalkLatency(),
-              asap.run(accel, defaultRunConfig(true))
-                  .avgWalkLatency()}});
-        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
+        sweep.add(spec, baseOptions, base, defaultRunConfig(false),
+                  spec.name, "Base iso");
+        sweep.add(spec, asapOptions, accel, defaultRunConfig(false),
+                  spec.name, "ASAP iso");
+        sweep.add(spec, baseOptions, base, defaultRunConfig(true),
+                  spec.name, "Base col");
+        sweep.add(spec, asapOptions, accel, defaultRunConfig(true),
+                  spec.name, "ASAP col");
     }
-    rows.push_back(averageRow(rows));
-    printTable("Figure 12: virtualized walk latency with 2MB host pages",
-               {"Base iso", "ASAP iso", "Base col", "ASAP col"}, rows);
+    const ResultSet results = SweepRunner().run(sweep);
 
-    const auto &avg = rows.back().second;
+    ResultTable table("Figure 12: virtualized walk latency with 2MB host "
+                      "pages",
+                      columns);
+    for (const std::string &row : results.rowLabels()) {
+        table.addRow(row,
+                     results.rowValues(row, columns));
+    }
+    table.addAverageRow();
+    emit(sweep.name(), table);
+    emitCells(sweep.name(), results);
+
+    const auto &avg = table.rows().back().second;
     std::printf("\nASAP reduction: iso %.0f%% (paper 25), coloc %.0f%% "
                 "(paper 30)\n",
                 reductionPct(avg[0], avg[1]),

@@ -7,36 +7,45 @@
  * virtualization pushing everything up (to ~93% max).
  */
 
-#include "bench_common.hh"
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
 
-using namespace asapbench;
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    const std::vector<std::string> columns = {"native", "nat+coloc",
+                                              "virt", "virt+coloc"};
+    SweepSpec sweep("fig2_walk_time_fraction");
     const MachineConfig baseline = makeMachineConfig();
 
     for (const WorkloadSpec &spec : standardSuite()) {
-        Environment native(spec);
-        EnvironmentOptions virtOptions;
-        virtOptions.virtualized = true;
-        Environment virtualized(spec, virtOptions);
-
-        rows.push_back(
-            {spec.name,
-             {100.0 * native.run(baseline, defaultRunConfig(false))
-                          .walkCycleFraction(),
-              100.0 * native.run(baseline, defaultRunConfig(true))
-                          .walkCycleFraction(),
-              100.0 * virtualized.run(baseline, defaultRunConfig(false))
-                          .walkCycleFraction(),
-              100.0 * virtualized.run(baseline, defaultRunConfig(true))
-                          .walkCycleFraction()}});
-        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
+        EnvironmentOptions native;
+        EnvironmentOptions virtualized;
+        virtualized.virtualized = true;
+        sweep.add(spec, native, baseline, defaultRunConfig(false),
+                  spec.name, "native");
+        sweep.add(spec, native, baseline, defaultRunConfig(true),
+                  spec.name, "nat+coloc");
+        sweep.add(spec, virtualized, baseline, defaultRunConfig(false),
+                  spec.name, "virt");
+        sweep.add(spec, virtualized, baseline, defaultRunConfig(true),
+                  spec.name, "virt+coloc");
     }
-    rows.push_back(averageRow(rows));
-    printTable("Figure 2: % execution time in page walks",
-               {"native", "nat+coloc", "virt", "virt+coloc"}, rows);
+    const ResultSet results = SweepRunner().run(sweep);
+
+    ResultTable table("Figure 2: % execution time in page walks", columns);
+    for (const std::string &row : results.rowLabels()) {
+        table.addRow(row,
+                     results.rowValues(row, columns,
+                                       [](const CellResult &cell) {
+                         return 100.0 * cell.stats.walkCycleFraction();
+                     }));
+    }
+    table.addAverageRow();
+    emit(sweep.name(), table);
+    emitCells(sweep.name(), results);
     return 0;
 }

@@ -8,46 +8,57 @@
  * (max -42% on mc400 under colocation).
  */
 
-#include "bench_common.hh"
+#include <cstdio>
 
-using namespace asapbench;
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    std::vector<std::pair<std::string, std::vector<double>>> iso, coloc;
+    const std::vector<std::string> columns = {"Baseline", "P1", "P1+P2"};
+    SweepSpec sweep("fig8_native_asap");
 
     for (const WorkloadSpec &spec : standardSuite()) {
-        Environment baseline(spec);
+        EnvironmentOptions baseOptions;
         EnvironmentOptions asapOptions;
         asapOptions.asapPlacement = true;
-        Environment asap(spec, asapOptions);
-
-        const MachineConfig base = makeMachineConfig();
-        const MachineConfig p1 = makeMachineConfig(AsapConfig::p1());
-        const MachineConfig p1p2 = makeMachineConfig(AsapConfig::p1p2());
 
         for (const bool colocation : {false, true}) {
             const RunConfig run = defaultRunConfig(colocation);
-            auto &rows = colocation ? coloc : iso;
-            rows.push_back(
-                {spec.name,
-                 {baseline.run(base, run).avgWalkLatency(),
-                  asap.run(p1, run).avgWalkLatency(),
-                  asap.run(p1p2, run).avgWalkLatency()}});
+            const std::string row =
+                spec.name + (colocation ? "/coloc" : "");
+            sweep.add(spec, baseOptions, makeMachineConfig(), run, row,
+                      "Baseline");
+            sweep.add(spec, asapOptions,
+                      makeMachineConfig(AsapConfig::p1()), run, row, "P1");
+            sweep.add(spec, asapOptions,
+                      makeMachineConfig(AsapConfig::p1p2()), run, row,
+                      "P1+P2");
         }
-        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
     }
-    iso.push_back(averageRow(iso));
-    coloc.push_back(averageRow(coloc));
+    const ResultSet results = SweepRunner().run(sweep);
 
-    printTable("Figure 8a: native walk latency in isolation (cycles)",
-               {"Baseline", "P1", "P1+P2"}, iso);
-    printTable("Figure 8b: native walk latency under SMT colocation",
-               {"Baseline", "P1", "P1+P2"}, coloc);
+    ResultTable iso("Figure 8a: native walk latency in isolation (cycles)",
+                    columns);
+    ResultTable coloc("Figure 8b: native walk latency under SMT colocation",
+                      columns);
+    for (const WorkloadSpec &spec : standardSuite()) {
+        iso.addRow(spec.name, results.rowValues(spec.name, columns));
+        coloc.addRow(spec.name,
+                     results.rowValues(spec.name + "/coloc", columns));
+    }
+    iso.addAverageRow();
+    coloc.addAverageRow();
+    emit("fig8_native_asap_iso", iso);
+    emit("fig8_native_asap_coloc", coloc);
+    emitCells(sweep.name(), results);
 
-    const auto &avgIso = iso.back().second;
-    const auto &avgColoc = coloc.back().second;
+    const auto &avgIso = iso.rows().back().second;
+    const auto &avgColoc = coloc.rows().back().second;
     std::printf("\nASAP reduction (avg): iso P1 %.0f%%, P1+P2 %.0f%% "
                 "(paper 12%%/14%%); coloc P1 %.0f%%, P1+P2 %.0f%% "
                 "(paper 20%%/25%%)\n",

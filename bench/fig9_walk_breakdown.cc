@@ -8,9 +8,13 @@
  * PL1 dominated by L2/LLC/Mem, shifting down under colocation.
  */
 
-#include "bench_common.hh"
+#include <cstdio>
 
-using namespace asapbench;
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+
+using namespace asap;
+using namespace asap::exp;
 
 namespace
 {
@@ -32,17 +36,29 @@ printBreakdown(const char *title, const RunStats &stats)
 int
 main()
 {
-    for (const char *name : {"mcf", "redis"}) {
-        const auto spec = specByName(name);
-        Environment env(*spec);
-        const MachineConfig baseline = makeMachineConfig();
-        printBreakdown(
-            strprintf("Figure 9: %s in isolation", name).c_str(),
-            env.run(baseline, defaultRunConfig(false)));
-        printBreakdown(
-            strprintf("Figure 9: %s under SMT colocation", name).c_str(),
-            env.run(baseline, defaultRunConfig(true)));
-        std::fprintf(stderr, "  %s done\n", name);
+    SweepSpec sweep("fig9_walk_breakdown");
+    const MachineConfig baseline = makeMachineConfig();
+    const std::vector<std::string> names = {"mcf", "redis"};
+
+    for (const WorkloadSpec &spec : specsByNames(names)) {
+        EnvironmentOptions options;
+        sweep.add(spec, options, baseline, defaultRunConfig(false),
+                  spec.name, "iso");
+        sweep.add(spec, options, baseline, defaultRunConfig(true),
+                  spec.name, "coloc");
     }
+    const ResultSet results = SweepRunner().run(sweep);
+
+    for (const std::string &name : names) {
+        printBreakdown(
+            strprintf("Figure 9: %s in isolation", name.c_str()).c_str(),
+            results.stats(name, "iso"));
+        printBreakdown(
+            strprintf("Figure 9: %s under SMT colocation", name.c_str())
+                .c_str(),
+            results.stats(name, "coloc"));
+    }
+    // The per-PT-level serving distributions live in the cell JSON.
+    emitCells(sweep.name(), results);
     return 0;
 }

@@ -7,40 +7,53 @@
  * Paper values: 1.2x / 2.7x / 5.3x / 12.0x.
  */
 
-#include "bench_common.hh"
+#include <cstdio>
 
-using namespace asapbench;
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    Environment mc80Native(mc80Spec());
-    EnvironmentOptions virtOptions;
-    virtOptions.virtualized = true;
-    Environment mc80Virt(mc80Spec(), virtOptions);
-    Environment mc400Native(mc400Spec());
-
+    SweepSpec sweep("table1_memcached_scaling");
     const MachineConfig baseline = makeMachineConfig();
-    const double iso =
-        mc80Native.run(baseline, defaultRunConfig(false)).avgWalkLatency();
-    const double bigger =
-        mc400Native.run(baseline, defaultRunConfig(false))
-            .avgWalkLatency();
-    const double coloc =
-        mc80Native.run(baseline, defaultRunConfig(true)).avgWalkLatency();
-    const double virtIso =
-        mc80Virt.run(baseline, defaultRunConfig(false)).avgWalkLatency();
-    const double virtColoc =
-        mc80Virt.run(baseline, defaultRunConfig(true)).avgWalkLatency();
+    EnvironmentOptions native;
+    EnvironmentOptions virtualized;
+    virtualized.virtualized = true;
 
-    printTable(
-        "Table 1: memcached walk-latency scaling "
-        "(normalized to native mc80 in isolation)",
-        {"5x dataset", "SMT coloc", "virt", "virt+SMT"},
-        {{"measured",
-          {bigger / iso, coloc / iso, virtIso / iso, virtColoc / iso}},
-         {"paper", {1.2, 2.7, 5.3, 12.0}}},
-        "%10.2f");
+    sweep.add(mc80Spec(), native, baseline, defaultRunConfig(false),
+              "mc80", "iso");
+    sweep.add(mc80Spec(), native, baseline, defaultRunConfig(true),
+              "mc80", "coloc");
+    sweep.add(mc80Spec(), virtualized, baseline, defaultRunConfig(false),
+              "mc80", "virt");
+    sweep.add(mc80Spec(), virtualized, baseline, defaultRunConfig(true),
+              "mc80", "virt+coloc");
+    sweep.add(mc400Spec(), native, baseline, defaultRunConfig(false),
+              "mc400", "iso");
+    const ResultSet results = SweepRunner().run(sweep);
+
+    const double iso = results.stats("mc80", "iso").avgWalkLatency();
+    const double bigger = results.stats("mc400", "iso").avgWalkLatency();
+    const double coloc = results.stats("mc80", "coloc").avgWalkLatency();
+    const double virtIso = results.stats("mc80", "virt").avgWalkLatency();
+    const double virtColoc =
+        results.stats("mc80", "virt+coloc").avgWalkLatency();
+
+    ResultTable table("Table 1: memcached walk-latency scaling "
+                      "(normalized to native mc80 in isolation)",
+                      {"5x dataset", "SMT coloc", "virt", "virt+SMT"},
+                      "%10.2f");
+    table.addRow("measured",
+                 {bigger / iso, coloc / iso, virtIso / iso,
+                  virtColoc / iso});
+    table.addRow("paper", {1.2, 2.7, 5.3, 12.0});
+    emit(sweep.name(), table);
+    emitCells(sweep.name(), results);
+
     std::printf("\nraw cycles: mc80 iso %.1f | mc400 iso %.1f | "
                 "coloc %.1f | virt %.1f | virt+coloc %.1f\n",
                 iso, bigger, coloc, virtIso, virtColoc);

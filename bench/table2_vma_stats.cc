@@ -8,41 +8,65 @@
  * An extra column shows the contiguous-region count under ASAP
  * placement — the whole point of Section 3.3 (a handful of regions
  * instead of hundreds/thousands).
+ *
+ * These are probe-only sweep cells: nothing is simulated, the cells
+ * inspect the constructed environments.
  */
 
-#include "bench_common.hh"
+#include <cstdio>
 
-using namespace asapbench;
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+#include "os/address_space.hh"
+
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    SweepSpec sweep("table2_vma_stats");
 
     for (const WorkloadSpec &spec : standardSuite()) {
-        Environment baseline(spec);     // buddy PT placement
+        EnvironmentOptions baseOptions;   // buddy PT placement
         EnvironmentOptions asapOptions;
         asapOptions.asapPlacement = true;
-        Environment asap(spec, asapOptions);
 
-        const AddressSpace &space = baseline.system().appSpace();
-        rows.push_back(
-            {spec.name,
-             {static_cast<double>(space.vmas().size()),
-              static_cast<double>(space.vmasForFootprintCoverage(0.99)),
-              static_cast<double>(
-                  space.pageTable().countContiguousRegions()),
-              static_cast<double>(space.pageTable().nodeCount()),
-              static_cast<double>(asap.system()
-                                      .appSpace()
-                                      .pageTable()
-                                      .countContiguousRegions())}});
-        std::fprintf(stderr, "  %s done\n", spec.name.c_str());
+        sweep.addProbe(spec, baseOptions, spec.name, "buddy",
+                       [](Environment &env, CellResult &result) {
+            const AddressSpace &space = env.system().appSpace();
+            result.extra["vmas"] =
+                static_cast<double>(space.vmas().size());
+            result.extra["vmas99"] = static_cast<double>(
+                space.vmasForFootprintCoverage(0.99));
+            result.extra["contig"] = static_cast<double>(
+                space.pageTable().countContiguousRegions());
+            result.extra["ptPages"] =
+                static_cast<double>(space.pageTable().nodeCount());
+        });
+        sweep.addProbe(spec, asapOptions, spec.name, "asap",
+                       [](Environment &env, CellResult &result) {
+            result.extra["contig"] = static_cast<double>(
+                env.system().appSpace().pageTable()
+                    .countContiguousRegions());
+        });
     }
-    printTable("Table 2: VMA and page-table layout statistics",
-               {"VMAs", "VMAs(99%)", "contig", "PT pages",
-                "contig-ASAP"},
-               rows, "%10.0f");
+    const ResultSet results = SweepRunner().run(sweep);
+
+    ResultTable table("Table 2: VMA and page-table layout statistics",
+                      {"VMAs", "VMAs(99%)", "contig", "PT pages",
+                       "contig-ASAP"},
+                      "%10.0f");
+    for (const std::string &row : results.rowLabels()) {
+        table.addRow(row, {results.extra(row, "buddy", "vmas"),
+                           results.extra(row, "buddy", "vmas99"),
+                           results.extra(row, "buddy", "contig"),
+                           results.extra(row, "buddy", "ptPages"),
+                           results.extra(row, "asap", "contig")});
+    }
+    emit(sweep.name(), table);
+    emitCells(sweep.name(), results);
+
     std::printf("\npaper (buddy contig regions): canneal 487, mcf 626, "
                 "pagerank 2076, bfs 4285,\n"
                 "mc80 1976, mc400 5376, redis 3555 — thousands; ASAP "

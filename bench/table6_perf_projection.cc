@@ -15,56 +15,67 @@
  * excluded (libhugetlbfs does not affect it).
  */
 
-#include "bench_common.hh"
+#include <cstdio>
 
-using namespace asapbench;
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+
+using namespace asap;
+using namespace asap::exp;
 
 int
 main()
 {
-    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    SweepSpec sweep("table6_perf_projection");
+    const MachineConfig baseline = makeMachineConfig();
+    const MachineConfig all4 =
+        makeMachineConfig(AsapConfig::p1p2(), AsapConfig::p1p2());
 
-    for (const char *name : {"mcf", "canneal", "bfs", "pagerank",
-                             "redis"}) {
-        const auto spec = specByName(name);
+    RunConfig ideal = defaultRunConfig(false);
+    ideal.perfectTlb = true;
 
-        // (1) Walk-cycle fraction, native isolation.
-        Environment native(*spec);
-        const RunStats normal =
-            native.run(makeMachineConfig(), defaultRunConfig(false));
-        RunConfig ideal = defaultRunConfig(false);
-        ideal.perfectTlb = true;
-        const RunStats perfect = native.run(makeMachineConfig(), ideal);
-        const double fraction =
-            1.0 - static_cast<double>(perfect.totalCycles) /
-                      static_cast<double>(normal.totalCycles);
-
-        // (2) ASAP reduction, virtualized isolation, all-4 config.
+    for (const WorkloadSpec &spec :
+         specsByNames({"mcf", "canneal", "bfs", "pagerank", "redis"})) {
+        EnvironmentOptions native;
         EnvironmentOptions virtBase;
         virtBase.virtualized = true;
-        Environment baseline(*spec, virtBase);
         EnvironmentOptions virtAsap = virtBase;
         virtAsap.asapPlacement = true;
-        Environment asap(*spec, virtAsap);
-        const double base =
-            baseline.run(makeMachineConfig(), defaultRunConfig(false))
-                .avgWalkLatency();
-        const double accelerated =
-            asap.run(makeMachineConfig(AsapConfig::p1p2(),
-                                       AsapConfig::p1p2()),
-                     defaultRunConfig(false))
-                .avgWalkLatency();
-        const double reduction = reductionPct(base, accelerated) / 100.0;
 
-        rows.push_back({*&spec->name,
-                        {100.0 * fraction, 100.0 * reduction,
-                         100.0 * fraction * reduction}});
-        std::fprintf(stderr, "  %s done\n", name);
+        // (1) Walk-cycle fraction, native isolation.
+        sweep.add(spec, native, baseline, defaultRunConfig(false),
+                  spec.name, "normal");
+        sweep.add(spec, native, baseline, ideal, spec.name, "perfect");
+        // (2) ASAP reduction, virtualized isolation, all-4 config.
+        sweep.add(spec, virtBase, baseline, defaultRunConfig(false),
+                  spec.name, "virt-base");
+        sweep.add(spec, virtAsap, all4, defaultRunConfig(false),
+                  spec.name, "virt-asap");
     }
-    rows.push_back(averageRow(rows));
-    printTable("Table 6: conservative projection of ASAP performance "
-               "improvement (%)",
-               {"walk-frac", "walk-red.", "improve"}, rows);
+    const ResultSet results = SweepRunner().run(sweep);
+
+    ResultTable table("Table 6: conservative projection of ASAP "
+                      "performance improvement (%)",
+                      {"walk-frac", "walk-red.", "improve"});
+    for (const std::string &row : results.rowLabels()) {
+        const double fraction =
+            1.0 -
+            static_cast<double>(
+                results.stats(row, "perfect").totalCycles) /
+                static_cast<double>(
+                    results.stats(row, "normal").totalCycles);
+        const double reduction =
+            reductionPct(
+                results.stats(row, "virt-base").avgWalkLatency(),
+                results.stats(row, "virt-asap").avgWalkLatency()) /
+            100.0;
+        table.addRow(row, {100.0 * fraction, 100.0 * reduction,
+                           100.0 * fraction * reduction});
+    }
+    table.addAverageRow();
+    emit(sweep.name(), table);
+    emitCells(sweep.name(), results);
+
     std::printf("\npaper: fractions 31/24/68/50/18, reductions "
                 "25/32/41/43/33, improvements 8/8/28/22/6 (avg 12)\n");
     return 0;

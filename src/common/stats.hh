@@ -47,6 +47,16 @@ class SampleStat
         max_ = 0;
     }
 
+    /** Fold another accumulator in (cross-cell aggregation). */
+    void
+    merge(const SampleStat &other)
+    {
+        count_ += other.count_;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return count_ ? min_ : 0; }
@@ -142,6 +152,15 @@ class LevelDistribution
     {
         counts_.fill(0);
         total_ = 0;
+    }
+
+    /** Fold another distribution in (cross-cell aggregation). */
+    void
+    merge(const LevelDistribution &other)
+    {
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            counts_[i] += other.counts_[i];
+        total_ += other.total_;
     }
 
     /** "PWC 62.0% L1 20.1% L2 ..." one-line summary. */

@@ -1,0 +1,221 @@
+#include "exp/result_table.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace asap::exp
+{
+
+void
+ResultTable::addAverageRow(const std::string &name)
+{
+    if (rows_.empty())
+        return;
+    std::vector<double> avg(rows_[0].second.size(), 0.0);
+    for (const auto &[rowName, values] : rows_) {
+        for (std::size_t i = 0; i < values.size() && i < avg.size(); ++i)
+            avg[i] += values[i];
+    }
+    for (double &v : avg)
+        v /= static_cast<double>(rows_.size());
+    addRow(name, std::move(avg));
+}
+
+std::string
+ResultTable::toText() const
+{
+    std::string out = strprintf("\n=== %s ===\n", title_.c_str());
+    out += strprintf("%-10s", "");
+    for (const auto &column : columns_)
+        out += strprintf("%12s", column.c_str());
+    out += '\n';
+    for (const auto &[name, values] : rows_) {
+        out += strprintf("%-10s", name.c_str());
+        for (const double value : values) {
+            out += "  ";
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), format_.c_str(), value);
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+ResultTable::toCsv() const
+{
+    std::string out = "# " + title_ + "\n";
+    out += "# format: " + format_ + "\n";
+    out += "row";
+    for (const auto &column : columns_)
+        out += "," + column;
+    out += '\n';
+    for (const auto &[name, values] : rows_) {
+        out += name;
+        for (const double value : values)
+            out += "," + Json::numberToString(value);
+        out += '\n';
+    }
+    return out;
+}
+
+Json
+ResultTable::toJson() const
+{
+    Json json = Json::object();
+    json.set("title", title_);
+    json.set("format", format_);
+    Json columns = Json::array();
+    for (const auto &column : columns_)
+        columns.push(column);
+    json.set("columns", std::move(columns));
+    Json rows = Json::array();
+    for (const auto &[name, values] : rows_) {
+        Json row = Json::object();
+        row.set("name", name);
+        Json vals = Json::array();
+        for (const double value : values)
+            vals.push(value);
+        row.set("values", std::move(vals));
+        rows.push(std::move(row));
+    }
+    json.set("rows", std::move(rows));
+    return json;
+}
+
+std::optional<ResultTable>
+ResultTable::fromCsv(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::string title;
+    std::string format = "%10.1f";
+    std::vector<std::string> columns;
+    bool haveHeader = false;
+    std::optional<ResultTable> table;
+
+    auto split = [](const std::string &s) {
+        std::vector<std::string> fields;
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t comma = s.find(',', start);
+            fields.push_back(s.substr(start, comma - start));
+            if (comma == std::string::npos)
+                return fields;
+            start = comma + 1;
+        }
+    };
+
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            const std::size_t start = line.find_first_not_of("# ");
+            if (start == std::string::npos)
+                continue;   // bare comment marker
+            const std::string body = line.substr(start);
+            if (body.rfind("format: ", 0) == 0)
+                format = body.substr(8);
+            else if (title.empty())
+                title = body;
+            continue;
+        }
+        std::vector<std::string> fields = split(line);
+        if (!haveHeader) {
+            if (fields.empty() || fields[0] != "row")
+                return std::nullopt;
+            columns.assign(fields.begin() + 1, fields.end());
+            table.emplace(title, columns, format);
+            haveHeader = true;
+            continue;
+        }
+        std::vector<double> values;
+        for (std::size_t i = 1; i < fields.size(); ++i) {
+            char *end = nullptr;
+            values.push_back(std::strtod(fields[i].c_str(), &end));
+            if (end == fields[i].c_str())
+                return std::nullopt;
+        }
+        table->addRow(fields[0], std::move(values));
+    }
+    if (!haveHeader)
+        return std::nullopt;
+    return table;
+}
+
+std::optional<ResultTable>
+ResultTable::fromJson(const Json &json)
+{
+    const Json *title = json.find("title");
+    const Json *columns = json.find("columns");
+    const Json *rows = json.find("rows");
+    if (!title || !columns || !rows)
+        return std::nullopt;
+    const Json *format = json.find("format");
+    std::vector<std::string> columnNames;
+    for (const Json &column : columns->items())
+        columnNames.push_back(column.asString());
+    ResultTable table(title->asString(), std::move(columnNames),
+                      format ? format->asString() : "%10.1f");
+    for (const Json &row : rows->items()) {
+        const Json *name = row.find("name");
+        const Json *values = row.find("values");
+        if (!name || !values)
+            return std::nullopt;
+        std::vector<double> rowValues;
+        for (const Json &value : values->items())
+            rowValues.push_back(value.asNumber());
+        table.addRow(name->asString(), std::move(rowValues));
+    }
+    return table;
+}
+
+std::string
+resultsDir()
+{
+    if (const char *env = std::getenv("ASAP_RESULTS_DIR"))
+        return env;
+    return "results";
+}
+
+void
+writeResultArtifact(const std::string &filename,
+                    const std::string &content)
+{
+    const std::string dir = resultsDir();
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create results dir %s: %s", dir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+    const std::string path = dir + "/" + filename;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    out << content;
+}
+
+void
+emit(const std::string &name, const ResultTable &table)
+{
+    std::fputs(table.toText().c_str(), stdout);
+    std::fflush(stdout);
+    writeResultArtifact(name + ".csv", table.toCsv());
+    writeResultArtifact(name + ".json", table.toJson().dump(2) + "\n");
+}
+
+} // namespace asap::exp

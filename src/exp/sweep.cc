@@ -1,0 +1,328 @@
+#include "exp/sweep.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+
+#include "common/logging.hh"
+#include "exp/result_table.hh"
+#include "exp/thread_pool.hh"
+
+namespace asap::exp
+{
+
+void
+SweepSpec::add(const WorkloadSpec &spec, const EnvironmentOptions &env,
+               const MachineConfig &machine, const RunConfig &run,
+               std::string row, std::string column)
+{
+    Cell cell;
+    cell.row = std::move(row);
+    cell.column = std::move(column);
+    cell.spec = spec;
+    cell.env = env;
+    cell.machine = machine;
+    cell.run = run;
+    cells_.push_back(std::move(cell));
+}
+
+void
+SweepSpec::addProbe(const WorkloadSpec &spec,
+                    const EnvironmentOptions &env, std::string row,
+                    std::string column,
+                    std::function<void(Environment &, CellResult &)> probe)
+{
+    Cell cell;
+    cell.row = std::move(row);
+    cell.column = std::move(column);
+    cell.spec = spec;
+    cell.env = env;
+    cell.measure = false;
+    cell.probe = std::move(probe);
+    cells_.push_back(std::move(cell));
+}
+
+// ---------------------------------------------------------------------------
+// ResultSet
+// ---------------------------------------------------------------------------
+
+const CellResult &
+ResultSet::cell(const std::string &row, const std::string &column) const
+{
+    for (const CellResult &result : cells_) {
+        if (result.row == row && result.column == column)
+            return result;
+    }
+    panic("no sweep cell (%s, %s)", row.c_str(), column.c_str());
+}
+
+double
+ResultSet::extra(const std::string &row, const std::string &column,
+                 const std::string &key) const
+{
+    const CellResult &result = cell(row, column);
+    const auto it = result.extra.find(key);
+    panic_if(it == result.extra.end(), "cell (%s, %s) has no extra '%s'",
+             row.c_str(), column.c_str(), key.c_str());
+    return it->second;
+}
+
+std::vector<double>
+ResultSet::rowValues(const std::string &row,
+                     const std::vector<std::string> &columns,
+                     const Metric &metric) const
+{
+    std::vector<double> values;
+    values.reserve(columns.size());
+    for (const std::string &column : columns)
+        values.push_back(metric(cell(row, column)));
+    return values;
+}
+
+std::vector<std::string>
+ResultSet::rowLabels() const
+{
+    std::vector<std::string> labels;
+    for (const CellResult &result : cells_) {
+        bool seen = false;
+        for (const std::string &label : labels)
+            seen = seen || label == result.row;
+        if (!seen)
+            labels.push_back(result.row);
+    }
+    return labels;
+}
+
+namespace
+{
+
+/** The scalar statistics every cell emits, in column order. */
+const std::vector<std::pair<const char *,
+                            double (*)(const CellResult &)>> &
+cellStatColumns()
+{
+    using C = const CellResult &;
+    static const std::vector<std::pair<const char *, double (*)(C)>>
+        columns = {
+            {"accesses", [](C c) { return double(c.stats.accesses); }},
+            {"tlbL1Hits", [](C c) { return double(c.stats.tlbL1Hits); }},
+            {"tlbL2Hits", [](C c) { return double(c.stats.tlbL2Hits); }},
+            {"tlbMisses", [](C c) { return double(c.stats.tlbMisses); }},
+            {"faults", [](C c) { return double(c.stats.faults); }},
+            {"walks", [](C c) { return double(c.stats.walkLatency.count()); }},
+            {"avgWalkLatency", [](C c) { return c.stats.avgWalkLatency(); }},
+            {"minWalkLatency", [](C c) { return double(c.stats.walkLatency.min()); }},
+            {"maxWalkLatency", [](C c) { return double(c.stats.walkLatency.max()); }},
+            {"mpka", [](C c) { return c.stats.mpka(); }},
+            {"l2MissRatio", [](C c) { return c.stats.l2MissRatio(); }},
+            {"walkCycleFraction", [](C c) { return c.stats.walkCycleFraction(); }},
+            {"totalCycles", [](C c) { return double(c.stats.totalCycles); }},
+            {"walkCycles", [](C c) { return double(c.stats.walkCycles); }},
+            {"dataCycles", [](C c) { return double(c.stats.dataCycles); }},
+            {"computeCycles", [](C c) { return double(c.stats.computeCycles); }},
+            {"asapTriggers", [](C c) { return double(c.stats.appAsap.triggers); }},
+            {"asapRangeHits", [](C c) { return double(c.stats.appAsap.rangeHits); }},
+            {"asapAttempted", [](C c) { return double(c.stats.appAsap.attempted); }},
+            {"asapIssued", [](C c) { return double(c.stats.appAsap.issued); }},
+            {"hostAsapIssued", [](C c) { return double(c.stats.hostAsap.issued); }},
+        };
+    return columns;
+}
+
+std::vector<std::string>
+sortedExtraKeys(const std::vector<CellResult> &cells)
+{
+    std::set<std::string> keys;
+    for (const CellResult &cell : cells) {
+        for (const auto &[key, value] : cell.extra)
+            keys.insert(key);
+    }
+    return {keys.begin(), keys.end()};
+}
+
+} // namespace
+
+std::string
+ResultSet::toCsv() const
+{
+    const auto extraKeys = sortedExtraKeys(cells_);
+    std::string out = "row,column,measured";
+    for (const auto &[name, metric] : cellStatColumns())
+        out += std::string(",") + name;
+    for (const std::string &key : extraKeys)
+        out += "," + key;
+    out += '\n';
+    for (const CellResult &cell : cells_) {
+        out += cell.row + "," + cell.column + "," +
+               (cell.measured ? "1" : "0");
+        for (const auto &[name, metric] : cellStatColumns())
+            out += "," + Json::numberToString(cell.measured ? metric(cell)
+                                                            : 0.0);
+        for (const std::string &key : extraKeys) {
+            const auto it = cell.extra.find(key);
+            out += "," + (it == cell.extra.end()
+                              ? std::string()
+                              : Json::numberToString(it->second));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+Json
+ResultSet::toJson() const
+{
+    Json cells = Json::array();
+    for (const CellResult &cell : cells_) {
+        Json entry = Json::object();
+        entry.set("row", cell.row);
+        entry.set("column", cell.column);
+        entry.set("measured", cell.measured);
+        if (cell.measured) {
+            Json stats = Json::object();
+            for (const auto &[name, metric] : cellStatColumns())
+                stats.set(name, metric(cell));
+            entry.set("stats", std::move(stats));
+
+            Json levels = Json::object();
+            for (unsigned level = 1; level <= 5; ++level) {
+                const LevelDistribution &dist = cell.stats.levelDist[level];
+                if (dist.total() == 0)
+                    continue;
+                Json fractions = Json::object();
+                for (std::size_t i = 0; i < numMemLevels; ++i) {
+                    const auto memLevel = static_cast<MemLevel>(i);
+                    fractions.set(memLevelName(memLevel),
+                                  dist.fraction(memLevel));
+                }
+                levels.set(strprintf("PL%u", level), std::move(fractions));
+            }
+            if (!levels.members().empty())
+                entry.set("levelDist", std::move(levels));
+        }
+        if (!cell.extra.empty()) {
+            Json extra = Json::object();
+            for (const auto &[key, value] : cell.extra)
+                extra.set(key, value);
+            entry.set("extra", std::move(extra));
+        }
+        cells.push(std::move(entry));
+    }
+    Json json = Json::object();
+    json.set("cells", std::move(cells));
+    return json;
+}
+
+// ---------------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** Canonical signature of the Environment a cell needs: every field of
+ *  the workload spec and the environment options. Cells with equal keys
+ *  share one Environment (and one group task). */
+std::string
+environmentKey(const WorkloadSpec &spec, const EnvironmentOptions &env)
+{
+    std::string levels;
+    for (const unsigned level : env.asapLevels)
+        levels += strprintf("%u.", level);
+    return strprintf(
+        "%s|%g|%lu|%u|%u|%u|%g|%g|%g|%lu|%g|%u|%g|%lu|%lu|%lu|%lu|%u"
+        "|v%d|a%d|h%d|p%u|q%u|L%s|hf%g|pp%g|s%lu",
+        spec.name.c_str(), spec.paperGb, spec.residentPages, spec.dataVmas,
+        spec.smallVmas, spec.cyclesPerAccess, spec.seqFraction,
+        spec.nearFraction, spec.windowFraction, spec.windowPages,
+        spec.zipfTheta, spec.linesPerPage, spec.burstContinueProb,
+        spec.machineMemBytes, spec.guestMemBytes, spec.churnOps,
+        spec.guestChurnOps, spec.churnMaxOrder, env.virtualized ? 1 : 0,
+        env.asapPlacement ? 1 : 0, env.hostHugePages ? 1 : 0,
+        env.ptLevels, env.hostPtLevels, levels.c_str(), env.holeFraction,
+        env.pinnedProb, env.seed);
+}
+
+std::string
+groupLabel(const WorkloadSpec &spec, const EnvironmentOptions &env)
+{
+    std::string label = spec.name;
+    if (env.virtualized)
+        label += "/virt";
+    if (env.asapPlacement)
+        label += "/asap";
+    if (env.hostHugePages)
+        label += "/2MB";
+    if (env.ptLevels != numPtLevels)
+        label += strprintf("/%uL", env.ptLevels);
+    if (env.holeFraction > 0.0)
+        label += strprintf("/holes%.0f%%", 100.0 * env.holeFraction);
+    return label;
+}
+
+} // namespace
+
+ResultSet
+SweepRunner::run(const SweepSpec &spec) const
+{
+    const std::vector<Cell> &cells = spec.cells();
+    std::vector<CellResult> results(cells.size());
+
+    // Per-cell seeds, derived deterministically from the cell index so
+    // they do not depend on grouping or scheduling.
+    std::vector<std::uint64_t> seeds(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        seeds[i] = spec.baseSeed() != 0
+                       ? mix64(spec.baseSeed() ^ (i + 1))
+                       : cells[i].run.seed;
+    }
+
+    // Group cells sharing an Environment; groups keep declaration order.
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        groups[environmentKey(cells[i].spec, cells[i].env)].push_back(i);
+
+    std::atomic<unsigned> completed{0};
+    const unsigned total = static_cast<unsigned>(groups.size());
+
+    ThreadPool pool(jobs_);
+    for (const auto &group : groups) {
+        // (not a structured binding: capturing one in a lambda is
+        // C++20-only, and this project builds as strict C++17)
+        const std::vector<std::size_t> &indices = group.second;
+        pool.submit([&cells, &results, &seeds, &indices, &completed,
+                     total] {
+            const Cell &first = cells[indices.front()];
+            Environment environment(first.spec, first.env);
+            for (const std::size_t index : indices) {
+                const Cell &cell = cells[index];
+                CellResult &result = results[index];
+                result.row = cell.row;
+                result.column = cell.column;
+                if (cell.measure) {
+                    RunConfig run = cell.run;
+                    run.seed = seeds[index];
+                    result.stats = environment.run(cell.machine, run);
+                    result.measured = true;
+                }
+                if (cell.probe)
+                    cell.probe(environment, result);
+            }
+            std::fprintf(stderr, "  [%u/%u] %s done\n",
+                         completed.fetch_add(1) + 1, total,
+                         groupLabel(first.spec, first.env).c_str());
+        });
+    }
+    pool.wait();
+    return ResultSet(std::move(results));
+}
+
+void
+emitCells(const std::string &name, const ResultSet &results)
+{
+    writeResultArtifact(name + "_cells.csv", results.toCsv());
+    writeResultArtifact(name + "_cells.json",
+                        results.toJson().dump(2) + "\n");
+}
+
+} // namespace asap::exp

@@ -1,0 +1,102 @@
+#include "exp/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace asap::exp
+{
+
+unsigned
+ThreadPool::jobsFromEnv()
+{
+    if (const char *env = std::getenv("ASAP_JOBS")) {
+        char *end = nullptr;
+        const long jobs = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && jobs > 0)
+            return static_cast<unsigned>(jobs);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = jobsFromEnv();
+    queues_.resize(threads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queues_[nextQueue_].push_back(std::move(task));
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        ++pending_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool
+ThreadPool::takeTask(unsigned index, Task &task)
+{
+    if (!queues_[index].empty()) {
+        task = std::move(queues_[index].front());
+        queues_[index].pop_front();
+        return true;
+    }
+    // Steal from the busiest end of a sibling's deque.
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        auto &victim = queues_[(index + k) % queues_.size()];
+        if (!victim.empty()) {
+            task = std::move(victim.back());
+            victim.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        Task task;
+        if (takeTask(index, task)) {
+            lock.unlock();
+            task();
+            lock.lock();
+            if (--pending_ == 0)
+                allDone_.notify_all();
+            continue;
+        }
+        if (stopping_)
+            return;
+        workAvailable_.wait(lock);
+    }
+}
+
+} // namespace asap::exp

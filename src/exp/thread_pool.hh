@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A small work-stealing thread pool for the experiment runner.
+ *
+ * Each worker owns a deque: it pops its own work from the front and,
+ * when empty, steals from the back of a sibling's deque. Tasks here are
+ * coarse (an entire experiment environment with all its measured cells,
+ * seconds of work each), so the deques are guarded by one pool mutex —
+ * the stealing structure is about load balance across unequal-length
+ * environment groups, not about synchronization micro-costs.
+ */
+
+#ifndef ASAP_EXP_THREAD_POOL_HH
+#define ASAP_EXP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asap::exp
+{
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads worker count; 0 resolves via jobsFromEnv(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task (round-robin across worker deques). */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned threadCount() const
+    { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Worker count requested by the environment: ASAP_JOBS if set to a
+     * positive integer, otherwise std::thread::hardware_concurrency()
+     * (at least 1).
+     */
+    static unsigned jobsFromEnv();
+
+  private:
+    void workerLoop(unsigned index);
+    /** Pop own front or steal a sibling's back. Caller holds mutex_. */
+    bool takeTask(unsigned index, Task &task);
+
+    std::vector<std::deque<Task>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    unsigned nextQueue_ = 0;
+    std::uint64_t pending_ = 0;   ///< submitted but not yet finished
+    bool stopping_ = false;
+};
+
+} // namespace asap::exp
+
+#endif // ASAP_EXP_THREAD_POOL_HH

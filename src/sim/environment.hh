@@ -25,6 +25,10 @@ namespace asap
 
 struct EnvironmentOptions
 {
+    // NOTE: cells in src/exp/sweep.cc share Environments keyed by
+    // environmentKey(), which enumerates every field here and in
+    // WorkloadSpec. Adding a field? Add it to environmentKey() too,
+    // or cells differing only in it will silently share state.
     bool virtualized = false;
     bool asapPlacement = false;
     bool hostHugePages = false;

@@ -82,6 +82,19 @@ Simulator::run(const RunConfig &config)
                 machine_.corunnerAccess(corunnerRng);
         }
     }
+
+    const auto engineStats = [](const AsapEngine *engine) {
+        AsapEngineStats s;
+        if (engine) {
+            s.triggers = engine->triggers();
+            s.rangeHits = engine->rangeHits();
+            s.attempted = engine->attempted();
+            s.issued = engine->issued();
+        }
+        return s;
+    };
+    stats.appAsap = engineStats(machine_.appEngine());
+    stats.hostAsap = engineStats(machine_.hostEngine());
     return stats;
 }
 

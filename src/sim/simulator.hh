@@ -41,6 +41,15 @@ struct RunConfig
     std::uint64_t seed = 7;
 };
 
+/** Lifetime counters of one ASAP engine over a run (incl. warmup). */
+struct AsapEngineStats
+{
+    std::uint64_t triggers = 0;    ///< walk starts seen
+    std::uint64_t rangeHits = 0;   ///< range-register matches
+    std::uint64_t attempted = 0;   ///< per-level prefetches attempted
+    std::uint64_t issued = 0;      ///< accepted by the hierarchy
+};
+
 struct RunStats
 {
     std::uint64_t accesses = 0;
@@ -57,6 +66,10 @@ struct RunStats
     std::uint64_t walkCycles = 0;
     std::uint64_t dataCycles = 0;
     std::uint64_t computeCycles = 0;
+
+    /** Prefetch-engine effectiveness (zero when ASAP is off). */
+    AsapEngineStats appAsap;
+    AsapEngineStats hostAsap;
 
     double
     avgWalkLatency() const

@@ -192,6 +192,19 @@ specByName(const std::string &name)
     return std::nullopt;
 }
 
+std::vector<WorkloadSpec>
+specsByNames(const std::vector<std::string> &names)
+{
+    std::vector<WorkloadSpec> specs;
+    specs.reserve(names.size());
+    for (const std::string &name : names) {
+        std::optional<WorkloadSpec> spec = specByName(name);
+        fatal_if(!spec, "unknown workload: %s", name.c_str());
+        specs.push_back(std::move(*spec));
+    }
+    return specs;
+}
+
 WorkloadSpec
 scaledDown(WorkloadSpec spec, unsigned divisor)
 {

@@ -38,6 +38,11 @@ std::vector<WorkloadSpec> standardSuite();
 /** Spec by name ("mcf", "mc400", ...). */
 std::optional<WorkloadSpec> specByName(const std::string &name);
 
+/** Specs for a list of names; fatal() on an unknown name. Used by the
+ *  figure benchmarks that sweep a subset of the suite. */
+std::vector<WorkloadSpec>
+specsByNames(const std::vector<std::string> &names);
+
 /**
  * Scale a spec's footprint and memory sizing down by @p divisor —
  * used by tests and quick calibration runs (set ASAP_QUICK=1).

@@ -33,7 +33,12 @@
 namespace asap
 {
 
-/** Full description of one synthetic application + its machine sizing. */
+/** Full description of one synthetic application + its machine sizing.
+ *
+ * NOTE: src/exp/sweep.cc keys shared experiment Environments on every
+ * field of this struct (environmentKey()); keep that function in sync
+ * when adding fields.
+ */
 struct WorkloadSpec
 {
     std::string name;
