@@ -8,10 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hh"
+#include "common/set_assoc.hh"
 #include "mem/hierarchy.hh"
 #include "os/buddy_allocator.hh"
+#include "os/pt_allocators.hh"
 #include "tlb/tlb.hh"
 #include "walk/pwc.hh"
+#include "walk/walker.hh"
 
 using namespace asap;
 
@@ -75,5 +78,75 @@ BM_ZipfNext(benchmark::State &state)
         benchmark::DoNotOptimize(zipf.next(rng));
 }
 BENCHMARK(BM_ZipfNext);
+
+/** The unified set-associative scan at the paper-LLC geometry (the
+ *  simulator's hottest loop), mixed hits and fills. */
+static void
+BM_SetAssocLlcScan(benchmark::State &state)
+{
+    SetAssoc<> array;
+    array.init(16384, 20);
+    Rng rng(5);
+    for (std::uint64_t i = 0; i < 200'000; ++i) {
+        const std::uint64_t tag = rng.below(1u << 20);
+        const auto slot = array.findOrVictim(array.setOf(tag),
+                                             SetAssoc<>::keyFor(tag));
+        if (!slot.matched)
+            *slot.way.key = SetAssoc<>::keyFor(tag);
+        array.touch(slot.way);
+    }
+    for (auto _ : state) {
+        const std::uint64_t tag = rng.below(1u << 20);
+        const auto slot = array.findOrVictim(array.setOf(tag),
+                                             SetAssoc<>::keyFor(tag));
+        if (!slot.matched)
+            *slot.way.key = SetAssoc<>::keyFor(tag);
+        array.touch(slot.way);
+        benchmark::DoNotOptimize(slot.matched);
+    }
+}
+BENCHMARK(BM_SetAssocLlcScan);
+
+/** Functional lookups through the slab page table (pointer-chased
+ *  descent; no hashing per level). */
+static void
+BM_SlabPageTableLookup(benchmark::State &state)
+{
+    BuddyAllocator frames(1 << 20);
+    BuddyPtAllocator allocator(frames);
+    PageTable pt(allocator);
+    constexpr std::uint64_t pages = 1 << 16;
+    for (std::uint64_t p = 0; p < pages; ++p)
+        pt.map(p << pageShift, frames.allocFrame());
+    Rng rng(6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pt.lookup(rng.below(pages) << pageShift));
+}
+BENCHMARK(BM_SlabPageTableLookup);
+
+/** A full hardware walk (PWC + hierarchy + slab chase) per iteration. */
+static void
+BM_PageWalk(benchmark::State &state)
+{
+    BuddyAllocator frames(1 << 20);
+    BuddyPtAllocator allocator(frames);
+    PageTable pt(allocator);
+    constexpr std::uint64_t pages = 1 << 16;
+    for (std::uint64_t p = 0; p < pages; ++p)
+        pt.map(p << pageShift, frames.allocFrame());
+    MemoryHierarchy mem;
+    PageWalkCaches pwc;
+    PageWalker walker(pt, mem, pwc);
+    Rng rng(7);
+    WalkResult result;
+    Cycles now = 0;
+    for (auto _ : state) {
+        walker.walk(rng.below(pages) << pageShift, now, result);
+        now += result.latency;
+        benchmark::DoNotOptimize(result.translation.pfn);
+    }
+}
+BENCHMARK(BM_PageWalk);
 
 BENCHMARK_MAIN();

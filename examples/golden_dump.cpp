@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates the golden RunStats literals for tests/test_sim.cc
+ * (suite Golden). Run after an *intentional* model change and paste the
+ * emitted table over the existing one; hot-path refactors must NOT need
+ * a regeneration — that is the point of the golden tests.
+ */
+
+#include <cstdio>
+
+#include "../tests/golden_scenarios.hh"
+
+using namespace asap;
+using namespace asap::golden;
+
+namespace
+{
+
+void
+printArray(const std::array<std::uint64_t, 5> &values)
+{
+    std::printf("{%lu, %lu, %lu, %lu, %lu}",
+                static_cast<unsigned long>(values[0]),
+                static_cast<unsigned long>(values[1]),
+                static_cast<unsigned long>(values[2]),
+                static_cast<unsigned long>(values[3]),
+                static_cast<unsigned long>(values[4]));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("const std::map<std::string, golden::Expect> expected = {\n");
+    for (const Scenario &scenario : goldenScenarios()) {
+        const Expect e = flatten(runScenario(scenario));
+        std::printf("    {\"%s\",\n     {%lu, %lu, %lu, %lu,\n"
+                    "      %lu, %lu, %lu, %lu,\n"
+                    "      %lu, %lu, %lu, %lu,\n      ",
+                    scenario.name.c_str(),
+                    static_cast<unsigned long>(e.tlbL1Hits),
+                    static_cast<unsigned long>(e.tlbL2Hits),
+                    static_cast<unsigned long>(e.tlbMisses),
+                    static_cast<unsigned long>(e.faults),
+                    static_cast<unsigned long>(e.walkCount),
+                    static_cast<unsigned long>(e.walkSum),
+                    static_cast<unsigned long>(e.walkMin),
+                    static_cast<unsigned long>(e.walkMax),
+                    static_cast<unsigned long>(e.totalCycles),
+                    static_cast<unsigned long>(e.walkCycles),
+                    static_cast<unsigned long>(e.dataCycles),
+                    static_cast<unsigned long>(e.computeCycles));
+        printArray(e.levelTotal);
+        std::printf(",\n      ");
+        printArray(e.levelPwc);
+        std::printf(",\n      ");
+        printArray(e.levelDram);
+        std::printf(",\n      %lu, %lu, %lu, %lu,\n      %lu}},\n",
+                    static_cast<unsigned long>(e.appTriggers),
+                    static_cast<unsigned long>(e.appRangeHits),
+                    static_cast<unsigned long>(e.appAttempted),
+                    static_cast<unsigned long>(e.appIssued),
+                    static_cast<unsigned long>(e.hostIssued));
+    }
+    std::printf("};\n");
+    return 0;
+}

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * The one set-associative array underneath every lookup structure in the
+ * simulator: caches, TLBs, the clustered TLB and the page walk caches.
+ *
+ * Before this template existed, each of those structures carried its own
+ * copy of the same three loops (tag probe, LRU victim scan, flush); they
+ * have been unified here so the hot loops are written — and optimized —
+ * once. Each way stores a 64-bit search key, a compact 32-bit recency
+ * tick and the client payload *together*: these scans dominate the
+ * simulator's wall-clock time and are bound by host memory traffic on
+ * the big arrays (the paper-LLC array alone is megabytes), so a probe
+ * must fetch one contiguous run of cache lines that the subsequent
+ * victim scan and recency update then hit for free. Three measured
+ * dead ends are documented here so they are not retried: a global
+ * key/tick/payload (SoA) split pays a second dependent random fetch on
+ * every victim scan (20-35% slower end-to-end); a per-*set* blocked
+ * [keys][ticks][payloads] layout still splits the hit path's key read
+ * and tick write across lines (≈25% slower); and AVX2 key scans lose
+ * to the scalar loop because they cannot early-exit (hit-early and
+ * half-empty sets terminate the scalar scan after a way or two).
+ *
+ * An invalid way is all-zero: key 0 (real keys are biased by +1 when
+ * stored, see keyFor — no address-derived key collides), tick 0,
+ * unspecified payload. A freshly calloc'ed array therefore *is* the
+ * flushed state, which keeps construction and flush at zero-page speed
+ * instead of writing sentinel patterns over megabytes. The tick counter
+ * is renormalized on the (practically unreachable) 32-bit wrap,
+ * preserving LRU order for arbitrarily long runs.
+ *
+ * Replacement policy — the combined scan every structure always used:
+ *   1. a way whose key matches (plus an optional payload predicate for
+ *      clients whose match is wider than the key) wins — refresh/merge;
+ *   2. otherwise the first invalid way in scan order is the victim
+ *      (valid ways always form a prefix of the set: fills take the
+ *      first hole and invalidateKey compacts, so the scan's early
+ *      exit at an invalid way can never shadow a later match);
+ *   3. otherwise the least-recently-used way, first-lowest on ties.
+ */
+
+#ifndef ASAP_COMMON_SET_ASSOC_HH
+#define ASAP_COMMON_SET_ASSOC_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <new>
+
+#include "common/types.hh"
+
+namespace asap
+{
+
+/** Compact recency timestamp (see file comment). */
+using Tick = std::uint32_t;
+
+/** Payload type for tag-only clients (plain caches). */
+struct NoPayload
+{
+};
+
+template <typename Payload = NoPayload>
+class SetAssoc
+{
+  public:
+    /** A located way: key/tick/payload views into one stored way. */
+    struct Ref
+    {
+        std::uint64_t *key = nullptr;
+        Tick *tick = nullptr;
+        Payload *payload = nullptr;
+
+        explicit operator bool() const { return key != nullptr; }
+        bool valid() const { return *key != 0; }
+    };
+
+    /** A probe/insert result: the way and whether it matched. */
+    struct Slot
+    {
+        Ref way;
+        bool matched = false;
+    };
+
+    SetAssoc() = default;
+
+    /**
+     * Bias an address-derived tag into the stored key space. Tags are
+     * below 2^61 (addresses are ≤57-bit, tags are address shifts, and
+     * client-packed variants use at most 2^60), so +1 never wraps and
+     * key 0 uniquely means "invalid way".
+     */
+    static constexpr std::uint64_t
+    keyFor(std::uint64_t tag)
+    {
+        return tag + 1;
+    }
+
+    /** (Re)shape the array; @p sets must be a power of two. */
+    void
+    init(std::uint64_t sets, unsigned ways)
+    {
+        release();
+        sets_ = sets;
+        ways_ = ways;
+        setMask_ = sets - 1;
+        count_ = sets * ways;
+        bytes_ = count_ * sizeof(Way);
+        // calloc: zero pages from the kernel, faulted on first touch —
+        // the all-zero state is the flushed state, so constructing a
+        // machine does not write the whole (multi-MB for the LLC)
+        // array. (Huge-page-advised mmap backing was tried here and
+        // lost: the 2MB first-touch zeroing costs more than the host
+        // TLB misses it saves at these array sizes.)
+        store_ = static_cast<Way *>(std::calloc(count_, sizeof(Way)));
+        if (!store_)
+            throw std::bad_alloc();
+        tick_ = 0;
+    }
+
+    ~SetAssoc() { release(); }
+
+    SetAssoc(const SetAssoc &) = delete;
+    SetAssoc &operator=(const SetAssoc &) = delete;
+
+    bool empty() const { return count_ == 0; }
+    std::uint64_t sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Map an arbitrary tag onto its set index. */
+    std::uint64_t setOf(std::uint64_t tag) const { return tag & setMask_; }
+
+    /** Probe @p set for @p key; a null Ref when absent. */
+    Ref
+    find(std::uint64_t set, std::uint64_t key)
+    {
+        Way *base = store_ + set * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base[w].key == key)
+                return refOf(base[w]);
+        }
+        return {};
+    }
+
+    /** Const probe (non-perturbing paths like Cache::probe). */
+    Ref
+    find(std::uint64_t set, std::uint64_t key) const
+    {
+        return const_cast<SetAssoc *>(this)->find(set, key);
+    }
+
+    /** Probe for @p key where the payload also satisfies @p pred (for
+     *  clients whose match predicate is wider than the key). */
+    template <typename Pred>
+    Ref
+    findWhere(std::uint64_t set, std::uint64_t key, Pred pred)
+    {
+        Way *base = store_ + set * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base[w].key == key && pred(base[w].payload))
+                return refOf(base[w]);
+        }
+        return {};
+    }
+
+    /** The combined insert scan (policy in the file comment). */
+    Slot
+    findOrVictim(std::uint64_t set, std::uint64_t key)
+    {
+        return findOrVictimWhere(set, key,
+                                 [](const Payload &) { return true; });
+    }
+
+    template <typename Pred>
+    Slot
+    findOrVictimWhere(std::uint64_t set, std::uint64_t key, Pred pred)
+    {
+        Way *base = store_ + set * ways_;
+        Way *victim = base;
+        for (unsigned w = 0; w < ways_; ++w) {
+            Way &way = base[w];
+            if (way.key == key && pred(way.payload))
+                return {refOf(way), true};
+            if (way.key == 0) {
+                victim = &way;  // first invalid way wins outright
+                break;
+            }
+            if (way.tick < victim->tick)
+                victim = &way;
+        }
+        return {refOf(*victim), false};
+    }
+
+    /** Stamp a way as most recently used. */
+    void
+    touch(const Ref &ref)
+    {
+        if (tick_ == std::numeric_limits<Tick>::max())
+            renormalizeTicks();
+        *ref.tick = ++tick_;
+    }
+
+    /**
+     * Drop the way holding @p key from @p set, if present. The set's
+     * last valid way is moved into the hole so valid ways stay a
+     * prefix — the invariant the combined scan's early exit relies on.
+     * (Ticks are unique, so relocating a way cannot change any LRU
+     * decision; only which physical slot it occupies.)
+     */
+    void
+    invalidateKey(std::uint64_t set, std::uint64_t key)
+    {
+        Way *base = store_ + set * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base[w].key != key)
+                continue;
+            unsigned last = ways_;
+            while (last > w + 1 && base[last - 1].key == 0)
+                --last;
+            if (last - 1 > w)
+                base[w] = base[last - 1];
+            base[last - 1].key = 0;
+            base[last - 1].tick = 0;
+            return;
+        }
+    }
+
+    /** Invalidate everything and restart the recency clock. No-op on a
+     *  never-initialized array (e.g. geometry-disabled PWC levels). */
+    void
+    flush()
+    {
+        if (!store_)
+            return;
+        std::memset(store_, 0, bytes_);
+        tick_ = 0;
+    }
+
+  private:
+    struct Way
+    {
+        std::uint64_t key;
+        Tick tick;
+        Payload payload;
+    };
+
+    Ref
+    refOf(Way &way) const
+    {
+        return {&way.key, &way.tick, &way.payload};
+    }
+
+    /**
+     * Halve the recency clock, preserving LRU order. Entries older than
+     * half the clock collapse to zero — after 2^32 operations on one
+     * structure they are ancient history in any replacement sense.
+     */
+    void
+    renormalizeTicks()
+    {
+        const Tick half = tick_ / 2;
+        for (std::uint64_t i = 0; i < count_; ++i) {
+            Way &way = store_[i];
+            way.tick = way.tick > half ? way.tick - half : 0;
+        }
+        tick_ -= half;
+    }
+
+    void
+    release()
+    {
+        std::free(store_);
+        store_ = nullptr;
+    }
+
+    std::uint64_t sets_ = 0;
+    unsigned ways_ = 0;
+    std::uint64_t setMask_ = 0;
+    std::uint64_t count_ = 0;
+    std::size_t bytes_ = 0;
+    Way *store_ = nullptr;
+    Tick tick_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_COMMON_SET_ASSOC_HH

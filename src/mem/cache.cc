@@ -12,97 +12,13 @@ Cache::Cache(const CacheConfig &config)
              "%s: bad associativity", config_.name.c_str());
     fatal_if(!isPow2(config_.numSets()),
              "%s: set count must be a power of two", config_.name.c_str());
-    setMask_ = config_.numSets() - 1;
-    ways_.resize(config_.numLines());
-}
-
-std::uint64_t
-Cache::setIndex(PhysAddr paddr) const
-{
-    return (paddr >> setShift_) & setMask_;
-}
-
-std::uint64_t
-Cache::tagOf(PhysAddr paddr) const
-{
-    return paddr >> setShift_;
-}
-
-bool
-Cache::access(PhysAddr paddr)
-{
-    const std::uint64_t set = setIndex(paddr);
-    const std::uint64_t tag = tagOf(paddr);
-    Way *base = &ways_[set * config_.ways];
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lastUse = ++tick_;
-            ++hits_;
-            return true;
-        }
-    }
-    ++misses_;
-    return false;
-}
-
-bool
-Cache::probe(PhysAddr paddr) const
-{
-    const std::uint64_t set = setIndex(paddr);
-    const std::uint64_t tag = tagOf(paddr);
-    const Way *base = &ways_[set * config_.ways];
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return true;
-    }
-    return false;
-}
-
-void
-Cache::insert(PhysAddr paddr)
-{
-    const std::uint64_t set = setIndex(paddr);
-    const std::uint64_t tag = tagOf(paddr);
-    Way *base = &ways_[set * config_.ways];
-    Way *victim = &base[0];
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            way.lastUse = ++tick_;     // already present: refresh
-            return;
-        }
-        if (!way.valid) {
-            victim = &way;
-            break;
-        }
-        if (way.lastUse < victim->lastUse)
-            victim = &way;
-    }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = ++tick_;
-}
-
-void
-Cache::invalidate(PhysAddr paddr)
-{
-    const std::uint64_t set = setIndex(paddr);
-    const std::uint64_t tag = tagOf(paddr);
-    Way *base = &ways_[set * config_.ways];
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].valid = false;
-            return;
-        }
-    }
+    ways_.init(config_.numSets(), config_.ways);
 }
 
 void
 Cache::reset()
 {
-    for (auto &way : ways_)
-        way.valid = false;
-    tick_ = 0;
+    ways_.flush();
     hits_ = 0;
     misses_ = 0;
 }

@@ -7,6 +7,12 @@
  * level holding the line and latencies along a page walk are summed. The
  * cache therefore tracks only tags, not data, and charges a fixed hit
  * latency configured per level (Table 5).
+ *
+ * The cache is tag-only state in a SetAssoc with no payload (a 20-way
+ * LLC set is 160 bytes of keys plus 80 bytes of ticks), and every
+ * operation is header-inline: these scans are the single hottest loops
+ * of the whole simulator (every data access, co-runner access, walk
+ * step and prefetch ends up here).
  */
 
 #ifndef ASAP_MEM_CACHE_HH
@@ -14,8 +20,8 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
+#include "common/set_assoc.hh"
 #include "common/types.hh"
 
 namespace asap
@@ -46,16 +52,74 @@ class Cache
      * Look up a physical address; on a hit the line's recency is updated.
      * @return true on hit.
      */
-    bool access(PhysAddr paddr);
+    bool
+    access(PhysAddr paddr)
+    {
+        const std::uint64_t tag = tagOf(paddr);
+        const auto way =
+            ways_.find(ways_.setOf(tag), SetAssoc<>::keyFor(tag));
+        if (way) {
+            ways_.touch(way);
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
+
+    /**
+     * access() + insert() in one set scan: on a miss the line is
+     * installed in exactly the way insert() would have chosen (first
+     * invalid way, else LRU). The fill-on-miss cascade of the hierarchy
+     * always inserts after a miss, so fusing the two scans halves the
+     * work of every miss without changing any replacement decision.
+     * @return true on hit.
+     */
+    bool
+    accessAndFill(PhysAddr paddr)
+    {
+        const std::uint64_t tag = tagOf(paddr);
+        const auto slot =
+            ways_.findOrVictim(ways_.setOf(tag), SetAssoc<>::keyFor(tag));
+        if (slot.matched) {
+            ways_.touch(slot.way);
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        *slot.way.key = SetAssoc<>::keyFor(tag);
+        ways_.touch(slot.way);
+        return false;
+    }
 
     /** Look up without perturbing replacement state. */
-    bool probe(PhysAddr paddr) const;
+    bool
+    probe(PhysAddr paddr) const
+    {
+        const std::uint64_t tag = tagOf(paddr);
+        return static_cast<bool>(
+            ways_.find(ways_.setOf(tag), SetAssoc<>::keyFor(tag)));
+    }
 
     /** Insert the line containing @p paddr, evicting LRU if needed. */
-    void insert(PhysAddr paddr);
+    void
+    insert(PhysAddr paddr)
+    {
+        const std::uint64_t tag = tagOf(paddr);
+        const auto slot =
+            ways_.findOrVictim(ways_.setOf(tag), SetAssoc<>::keyFor(tag));
+        if (!slot.matched)
+            *slot.way.key = SetAssoc<>::keyFor(tag);
+        ways_.touch(slot.way);
+    }
 
     /** Remove the line containing @p paddr if present. */
-    void invalidate(PhysAddr paddr);
+    void
+    invalidate(PhysAddr paddr)
+    {
+        const std::uint64_t tag = tagOf(paddr);
+        ways_.invalidateKey(ways_.setOf(tag), SetAssoc<>::keyFor(tag));
+    }
 
     /** Drop all contents (fresh scenario runs). */
     void reset();
@@ -66,21 +130,14 @@ class Cache
     std::uint64_t misses() const { return misses_; }
 
   private:
-    struct Way
-    {
-        std::uint64_t tag = ~std::uint64_t{0};
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-    };
-
-    std::uint64_t setIndex(PhysAddr paddr) const;
-    std::uint64_t tagOf(PhysAddr paddr) const;
+    /** Raw line tag; set indexing uses this, the stored key is the
+     *  biased keyFor(tag) (bias must never leak into the set index). */
+    std::uint64_t tagOf(PhysAddr paddr) const
+    { return paddr >> setShift_; }
 
     CacheConfig config_;
     unsigned setShift_;
-    std::uint64_t setMask_;
-    std::vector<Way> ways_;     ///< numSets * ways, row-major by set
-    std::uint64_t tick_ = 0;    ///< global recency clock
+    SetAssoc<> ways_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

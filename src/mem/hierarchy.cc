@@ -1,91 +1,12 @@
 #include "mem/hierarchy.hh"
 
-#include <algorithm>
-
 namespace asap
 {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
-    : config_(config), l1d_(config.l1d), l2_(config.l2), llc_(config.llc)
+    : config_(config), l1d_(config.l1d), l2_(config.l2), llc_(config.llc),
+      mshrs_(config.prefetchMshrs)
 {
-}
-
-AccessResult
-MemoryHierarchy::lookupAndFill(PhysAddr line)
-{
-    if (l1d_.access(line))
-        return {MemLevel::L1D, config_.l1d.latency};
-    if (l2_.access(line)) {
-        l1d_.insert(line);
-        return {MemLevel::L2, config_.l2.latency};
-    }
-    if (llc_.access(line)) {
-        l2_.insert(line);
-        l1d_.insert(line);
-        return {MemLevel::Llc, config_.llc.latency};
-    }
-    llc_.insert(line);
-    l2_.insert(line);
-    l1d_.insert(line);
-    return {MemLevel::Dram, config_.memLatency};
-}
-
-AccessResult
-MemoryHierarchy::access(PhysAddr paddr, Cycles now)
-{
-    const std::uint64_t line = lineOf(paddr);
-    AccessResult res = lookupAndFill(line);
-    if (!inflight_.empty()) {
-        auto it = inflight_.find(line);
-        if (it != inflight_.end()) {
-            if (it->second > now) {
-                // Merge with the in-flight prefetch: the walker waits only
-                // for the remaining fill time (at least an L1 hit).
-                res.latency = std::max<Cycles>(it->second - now,
-                                               config_.l1d.latency);
-                ++prefetchMerges_;
-            }
-            inflight_.erase(it);
-        }
-    }
-    return res;
-}
-
-AccessResult
-MemoryHierarchy::accessPlain(PhysAddr paddr)
-{
-    return lookupAndFill(lineOf(paddr));
-}
-
-bool
-MemoryHierarchy::prefetch(PhysAddr paddr, Cycles now)
-{
-    const std::uint64_t line = lineOf(paddr);
-    // Already resident in L1-D: nothing to do (and nothing gained).
-    if (l1d_.probe(line))
-        return false;
-    retireCompleted(now);
-    if (inflight_.size() >= config_.prefetchMshrs) {
-        ++prefetchesDropped_;   // best-effort: no MSHR available
-        return false;
-    }
-    if (inflight_.count(line))
-        return false;           // duplicate in-flight prefetch
-    const AccessResult res = lookupAndFill(line);
-    inflight_.emplace(line, now + res.latency);
-    ++prefetchesIssued_;
-    return true;
-}
-
-void
-MemoryHierarchy::retireCompleted(Cycles now)
-{
-    for (auto it = inflight_.begin(); it != inflight_.end();) {
-        if (it->second <= now)
-            it = inflight_.erase(it);
-        else
-            ++it;
-    }
 }
 
 void
@@ -94,7 +15,7 @@ MemoryHierarchy::reset()
     l1d_.reset();
     l2_.reset();
     llc_.reset();
-    inflight_.clear();
+    inflightCount_ = 0;
     prefetchesIssued_ = 0;
     prefetchesDropped_ = 0;
     prefetchMerges_ = 0;

@@ -14,13 +14,21 @@
  * in-flight fill: it completes at max(now + L1 latency, prefetch done),
  * which is exactly the "only one access to the memory hierarchy is
  * exposed" behaviour of the paper.
+ *
+ * The in-flight records live in a fixed-capacity MSHR array sized by
+ * prefetchMshrs — mirroring the modeled hardware, which also has
+ * exactly that many slots. At 16 entries a branch-predictable linear
+ * scan beats any hashing, completed slots are retired in the same pass
+ * that looks for a free one, and the common demand-access case (nothing
+ * in flight, or no prefetch targeting the line) stays a short loop over
+ * one or two cache lines of slot state.
  */
 
 #ifndef ASAP_MEM_HIERARCHY_HH
 #define ASAP_MEM_HIERARCHY_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "common/mem_level.hh"
 #include "common/types.hh"
@@ -65,13 +73,39 @@ class MemoryHierarchy
      * is merged with it (MSHR hit) and the exposed latency is the
      * remaining fill time (but at least the L1 hit latency).
      */
-    AccessResult access(PhysAddr paddr, Cycles now);
+    AccessResult
+    access(PhysAddr paddr, Cycles now)
+    {
+        const std::uint64_t line = lineOf(paddr);
+        AccessResult res = lookupAndFill(line);
+        // Common no-merge path: a short predictable scan over the
+        // (≤16-slot) MSHR file, skipped when nothing is in flight.
+        for (unsigned i = 0; i < inflightCount_; ++i) {
+            if (mshrs_[i].line != line)
+                continue;
+            if (mshrs_[i].readyAt > now) {
+                // Merge with the in-flight prefetch: the walker waits
+                // only for the remaining fill time (at least an L1 hit).
+                res.latency = mshrs_[i].readyAt - now;
+                if (res.latency < config_.l1d.latency)
+                    res.latency = config_.l1d.latency;
+                ++prefetchMerges_;
+            }
+            releaseMshr(i);
+            break;
+        }
+        return res;
+    }
 
     /**
      * Access that does not account for prefetch overlap — used by data
      * accesses and the co-runner, which only exert cache pressure.
      */
-    AccessResult accessPlain(PhysAddr paddr);
+    AccessResult
+    accessPlain(PhysAddr paddr)
+    {
+        return lookupAndFill(lineOf(paddr));
+    }
 
     /**
      * Issue a best-effort prefetch for the line containing @p paddr at
@@ -81,7 +115,34 @@ class MemoryHierarchy
      * @return true if the prefetch was issued (MSHR available and the
      *         line was not already in L1-D).
      */
-    bool prefetch(PhysAddr paddr, Cycles now);
+    bool
+    prefetch(PhysAddr paddr, Cycles now)
+    {
+        const std::uint64_t line = lineOf(paddr);
+        // Already resident in L1-D: nothing to do (and nothing gained).
+        if (l1d_.probe(line))
+            return false;
+        // One pass over the file: retire completed fills, spot dupes.
+        bool duplicate = false;
+        for (unsigned i = 0; i < inflightCount_;) {
+            if (mshrs_[i].readyAt <= now) {
+                releaseMshr(i);
+                continue;   // the swapped-in slot re-examines index i
+            }
+            duplicate |= mshrs_[i].line == line;
+            ++i;
+        }
+        if (inflightCount_ >= config_.prefetchMshrs) {
+            ++prefetchesDropped_;   // best-effort: no MSHR available
+            return false;
+        }
+        if (duplicate)
+            return false;           // duplicate in-flight prefetch
+        const AccessResult res = lookupAndFill(line);
+        mshrs_[inflightCount_++] = {line, now + res.latency};
+        ++prefetchesIssued_;
+        return true;
+    }
 
     /** Drop all cache contents and in-flight prefetch state. */
     void reset();
@@ -95,20 +156,50 @@ class MemoryHierarchy
     std::uint64_t prefetchesDropped() const { return prefetchesDropped_; }
     std::uint64_t prefetchMerges() const { return prefetchMerges_; }
 
-  private:
-    /** Find the serving level, update LRU there, and fill levels above. */
-    AccessResult lookupAndFill(PhysAddr line);
+    /** Currently occupied MSHR slots (tests/diagnostics). */
+    unsigned inflightPrefetches() const { return inflightCount_; }
 
-    /** Drop completed prefetch records to keep the MSHR map small. */
-    void retireCompleted(Cycles now);
+  private:
+    /** One MSHR slot: an in-flight prefetch fill. */
+    struct Mshr
+    {
+        std::uint64_t line = 0;
+        Cycles readyAt = 0;
+    };
+
+    /**
+     * Find the serving level, update LRU there, and fill levels above.
+     * Fill-on-miss, non-inclusive: each level that misses installs the
+     * line as part of the same set scan (Cache::accessAndFill), so a
+     * DRAM-served access costs three scans instead of six.
+     */
+    AccessResult
+    lookupAndFill(PhysAddr line)
+    {
+        if (l1d_.accessAndFill(line))
+            return {MemLevel::L1D, config_.l1d.latency};
+        if (l2_.accessAndFill(line))
+            return {MemLevel::L2, config_.l2.latency};
+        if (llc_.accessAndFill(line))
+            return {MemLevel::Llc, config_.llc.latency};
+        return {MemLevel::Dram, config_.memLatency};
+    }
+
+    /** Drop slot @p index; live slots stay packed in a prefix. */
+    void
+    releaseMshr(unsigned index)
+    {
+        mshrs_[index] = mshrs_[--inflightCount_];
+    }
 
     HierarchyConfig config_;
     Cache l1d_;
     Cache l2_;
     Cache llc_;
 
-    /** line address -> absolute completion time of the in-flight fill. */
-    std::unordered_map<std::uint64_t, Cycles> inflight_;
+    /** The MSHR file: live slots are mshrs_[0 .. inflightCount_). */
+    std::vector<Mshr> mshrs_;
+    unsigned inflightCount_ = 0;
 
     std::uint64_t prefetchesIssued_ = 0;
     std::uint64_t prefetchesDropped_ = 0;

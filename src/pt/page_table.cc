@@ -13,41 +13,43 @@ PageTable::PageTable(PtNodeAllocator &allocator, unsigned levels)
     fatal_if(levels != 4 && levels != 5,
              "PageTable supports 4 or 5 levels, got %u", levels);
     // The root node always exists (a process has a CR3 from birth).
-    rootPfn_ = createNode(levels_, 0);
+    rootIndex_ = createNode(levels_, 0);
 }
 
 PageTable::~PageTable()
 {
-    for (auto &kv : nodes_)
-        allocator_.freeNodeFrame(kv.second->level, kv.first);
+    for (const PtNode &node : slab_)
+        allocator_.freeNodeFrame(node.level, node.pfn);
 }
 
-PtNode *
-PageTable::getNode(Pfn pfn)
+PtNodeIndex
+PageTable::indexOf(Pfn pfn) const
 {
-    auto it = nodes_.find(pfn);
-    return it == nodes_.end() ? nullptr : it->second.get();
+    auto it = pfnToIndex_.find(pfn);
+    return it == pfnToIndex_.end() ? invalidPtNodeIndex : it->second;
 }
 
 const PtNode *
 PageTable::node(Pfn pfn) const
 {
-    auto it = nodes_.find(pfn);
-    return it == nodes_.end() ? nullptr : it->second.get();
+    const PtNodeIndex index = indexOf(pfn);
+    return index == invalidPtNodeIndex ? nullptr : &slab_[index];
 }
 
-Pfn
+PtNodeIndex
 PageTable::createNode(unsigned level, VirtAddr va)
 {
     const Pfn pfn = allocator_.allocNodeFrame(level, va);
     panic_if(pfn == invalidPfn, "PT node allocation failed at level %u",
              level);
-    panic_if(nodes_.count(pfn),
+    panic_if(pfnToIndex_.count(pfn),
              "PT node frame %#lx allocated twice", pfn);
-    auto node = std::make_unique<PtNode>();
-    node->level = level;
-    nodes_.emplace(pfn, std::move(node));
-    return pfn;
+    const PtNodeIndex index = static_cast<PtNodeIndex>(slab_.size());
+    slab_.emplace_back();
+    slab_.back().level = level;
+    slab_.back().pfn = pfn;
+    pfnToIndex_.emplace(pfn, index);
+    return index;
 }
 
 void
@@ -55,70 +57,85 @@ PageTable::map(VirtAddr va, Pfn pfn, unsigned leafLevel)
 {
     panic_if(leafLevel < 1 || leafLevel > 3,
              "unsupported leaf level %u", leafLevel);
-    Pfn nodePfn = rootPfn_;
+    PtNodeIndex nodeIndex = rootIndex_;
     for (unsigned level = levels_; level > leafLevel; --level) {
-        PtNode *node = getNode(nodePfn);
-        panic_if(!node, "missing PT node %#lx", nodePfn);
-        Pte &entry = node->entries[levelIndex(va, level)];
-        if (!entry.present()) {
-            const Pfn child = createNode(level - 1, va);
-            entry = Pte::make(child);
-            ++node->populated;
+        const unsigned slot = levelIndex(va, level);
+        // createNode may grow the slab, so re-resolve the node after it.
+        if (!slab_[nodeIndex].entries[slot].present()) {
+            const PtNodeIndex child = createNode(level - 1, va);
+            PtNode &node = slab_[nodeIndex];
+            node.entries[slot] = Pte::make(slab_[child].pfn);
+            node.children[slot] = child;
+            ++node.populated;
         }
-        panic_if(entry.huge(),
+        PtNode &node = slab_[nodeIndex];
+        panic_if(node.entries[slot].huge(),
                  "mapping %#lx under an existing %u-level huge leaf",
                  va, level);
-        nodePfn = entry.pfn();
+        nodeIndex = node.children[slot];
     }
-    PtNode *leafNode = getNode(nodePfn);
-    panic_if(!leafNode, "missing leaf PT node %#lx", nodePfn);
-    Pte &leaf = leafNode->entries[levelIndex(va, leafLevel)];
+    PtNode &leafNode = slab_[nodeIndex];
+    Pte &leaf = leafNode.entries[levelIndex(va, leafLevel)];
     if (!leaf.present())
-        ++leafNode->populated;
+        ++leafNode.populated;
     leaf = Pte::make(pfn, /*huge=*/leafLevel > 1);
 }
 
 void
 PageTable::unmap(VirtAddr va)
 {
-    Pfn nodePfn = rootPfn_;
+    PtNodeIndex nodeIndex = rootIndex_;
     for (unsigned level = levels_; level >= 1; --level) {
-        PtNode *node = getNode(nodePfn);
-        if (!node)
-            return;
-        Pte &entry = node->entries[levelIndex(va, level)];
+        PtNode &node = slab_[nodeIndex];
+        const unsigned slot = levelIndex(va, level);
+        Pte &entry = node.entries[slot];
         if (!entry.present())
             return;
         if (entry.isLeaf(level)) {
             entry.clear();
-            --node->populated;
+            node.children[slot] = invalidPtNodeIndex;
+            --node.populated;
             return;
         }
-        nodePfn = entry.pfn();
+        nodeIndex = node.children[slot];
     }
 }
 
 std::optional<Translation>
 PageTable::lookup(VirtAddr va) const
 {
-    Pfn nodePfn = rootPfn_;
+    PtNodeIndex nodeIndex = rootIndex_;
     for (unsigned level = levels_; level >= 1; --level) {
-        const PtNode *n = node(nodePfn);
-        if (!n)
-            return std::nullopt;
-        const Pte entry = n->entries[levelIndex(va, level)];
+        const PtNode &node = slab_[nodeIndex];
+        const unsigned slot = levelIndex(va, level);
+        const Pte entry = node.entries[slot];
         if (!entry.present())
             return std::nullopt;
         if (entry.isLeaf(level)) {
             Translation t;
             t.pfn = entry.pfn();
             t.leafLevel = level;
-            t.pteAddr = entryPhysAddr(nodePfn, va, level);
+            t.pteAddr = entryPhysAddr(node.pfn, va, level);
             return t;
         }
-        nodePfn = entry.pfn();
+        nodeIndex = node.children[slot];
     }
     return std::nullopt;
+}
+
+const PtNode *
+PageTable::leafNodeOf(VirtAddr va) const
+{
+    PtNodeIndex nodeIndex = rootIndex_;
+    for (unsigned level = levels_; level > 1; --level) {
+        const PtNode &node = slab_[nodeIndex];
+        const unsigned slot = levelIndex(va, level);
+        const Pte entry = node.entries[slot];
+        if (!entry.present() || entry.isLeaf(level))
+            return nullptr;
+        nodeIndex = node.children[slot];
+    }
+    return &slab_[nodeIndex];
 }
 
 Pte
@@ -134,12 +151,11 @@ PageTable::readEntry(Pfn nodePfn, VirtAddr va, unsigned level) const
 void
 PageTable::setAccessed(VirtAddr va, bool dirty)
 {
-    Pfn nodePfn = rootPfn_;
+    PtNodeIndex nodeIndex = rootIndex_;
     for (unsigned level = levels_; level >= 1; --level) {
-        PtNode *n = getNode(nodePfn);
-        if (!n)
-            return;
-        Pte &entry = n->entries[levelIndex(va, level)];
+        PtNode &node = slab_[nodeIndex];
+        const unsigned slot = levelIndex(va, level);
+        Pte &entry = node.entries[slot];
         if (!entry.present())
             return;
         if (entry.isLeaf(level)) {
@@ -148,7 +164,7 @@ PageTable::setAccessed(VirtAddr va, bool dirty)
                 entry.setDirty();
             return;
         }
-        nodePfn = entry.pfn();
+        nodeIndex = node.children[slot];
     }
 }
 
@@ -156,8 +172,8 @@ std::uint64_t
 PageTable::nodeCountAtLevel(unsigned level) const
 {
     std::uint64_t count = 0;
-    for (const auto &kv : nodes_) {
-        if (kv.second->level == level)
+    for (const PtNode &node : slab_) {
+        if (node.level == level)
             ++count;
     }
     return count;
@@ -167,9 +183,9 @@ std::vector<Pfn>
 PageTable::nodePfns() const
 {
     std::vector<Pfn> pfns;
-    pfns.reserve(nodes_.size());
-    for (const auto &kv : nodes_)
-        pfns.push_back(kv.first);
+    pfns.reserve(slab_.size());
+    for (const PtNode &node : slab_)
+        pfns.push_back(node.pfn);
     std::sort(pfns.begin(), pfns.end());
     return pfns;
 }

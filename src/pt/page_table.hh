@@ -9,6 +9,17 @@
  * Where those frames *live* is decided by a pluggable PtNodeAllocator —
  * the vanilla Linux buddy placement and the ASAP contiguous/sorted
  * placement are both implemented in src/os.
+ *
+ * Storage layout: nodes live in a slab (one contiguous std::vector) and
+ * every traversal — hardware walks, functional lookups, OS metadata
+ * updates — chases 32-bit slab indices kept next to the entries, so the
+ * per-level cost is one indexed load instead of a hash lookup. A
+ * pfn -> slab-index side map exists only for the off-hot-path queries
+ * (tests, diagnostics, frame-keyed node access); nothing on a simulated
+ * hot path touches it. Node frames are never freed before the table is
+ * destroyed (unmap retains intermediate nodes, as Linux does), so slab
+ * indices are stable for the table's lifetime and can be cached in the
+ * page walk caches.
  */
 
 #ifndef ASAP_PT_PAGE_TABLE_HH
@@ -16,7 +27,6 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +36,12 @@
 
 namespace asap
 {
+
+/** Slab index of a PT node; stable for the table's lifetime. */
+using PtNodeIndex = std::uint32_t;
+
+/** Sentinel for "no node" (absent child, unknown pfn). */
+constexpr PtNodeIndex invalidPtNodeIndex = ~PtNodeIndex{0};
 
 /**
  * Placement policy for page-table node frames.
@@ -52,12 +68,21 @@ class PtNodeAllocator
     virtual void freeNodeFrame(unsigned level, Pfn pfn) = 0;
 };
 
-/** One 4KB page-table node: 512 PTEs. */
+/**
+ * One 4KB page-table node: 512 PTEs, plus the software-side walk
+ * metadata (own frame number, level, and the slab index of each present
+ * non-leaf entry's child node).
+ */
 struct PtNode
 {
-    unsigned level = 1;
     std::array<Pte, entriesPerNode> entries{};
+    /** Slab index of the child node behind each non-leaf entry. */
+    std::array<PtNodeIndex, entriesPerNode> children{};
+    Pfn pfn = invalidPfn;       ///< frame this node occupies
+    unsigned level = 1;
     unsigned populated = 0;     ///< number of present entries
+
+    PtNode() { children.fill(invalidPtNodeIndex); }
 };
 
 /** Result of a functional translation. */
@@ -110,10 +135,39 @@ class PageTable
     bool isMapped(VirtAddr va) const { return lookup(va).has_value(); }
 
     /** Frame number of the root node (the CR3 contents). */
-    Pfn rootPfn() const { return rootPfn_; }
+    Pfn rootPfn() const { return slab_[rootIndex_].pfn; }
 
     /** Number of radix levels (4 or 5). */
     unsigned levels() const { return levels_; }
+
+    // ------------------------------------------------------------------
+    // Pointer-chased hot-path interface (walkers, functional lookups)
+    // ------------------------------------------------------------------
+
+    /** Slab index of the root node. */
+    PtNodeIndex rootIndex() const { return rootIndex_; }
+
+    /** The node at @p index; index must come from this table. */
+    const PtNode &
+    nodeAt(PtNodeIndex index) const
+    {
+        return slab_[index];
+    }
+
+    /**
+     * The PL1 node holding @p va's leaf entry, or nullptr when the path
+     * is absent or terminates in a huge-page leaf above PL1. Used by the
+     * clustered TLB to scan all eight cluster PTEs with one descent.
+     */
+    const PtNode *leafNodeOf(VirtAddr va) const;
+
+    // ------------------------------------------------------------------
+    // Frame-keyed interface (off the hot path: tests, OS bookkeeping)
+    // ------------------------------------------------------------------
+
+    /** Slab index for a node frame; invalidPtNodeIndex when @p pfn is
+     *  not a PT node. Hash lookup — keep off simulated hot paths. */
+    PtNodeIndex indexOf(Pfn pfn) const;
 
     /** Node lookup by frame number; nullptr if @p pfn is not a PT node. */
     const PtNode *node(Pfn pfn) const;
@@ -132,7 +186,7 @@ class PageTable
     void setAccessed(VirtAddr va, bool dirty = false);
 
     /** Total number of PT node pages (Table 2 "PT page count"). */
-    std::uint64_t nodeCount() const { return nodes_.size(); }
+    std::uint64_t nodeCount() const { return slab_.size(); }
 
     /** Node pages at one level. */
     std::uint64_t nodeCountAtLevel(unsigned level) const;
@@ -148,13 +202,18 @@ class PageTable
     std::vector<Pfn> nodePfns() const;
 
   private:
-    PtNode *getNode(Pfn pfn);
-    Pfn createNode(unsigned level, VirtAddr va);
+    PtNodeIndex createNode(unsigned level, VirtAddr va);
 
     PtNodeAllocator &allocator_;
     unsigned levels_;
-    Pfn rootPfn_ = invalidPfn;
-    std::unordered_map<Pfn, std::unique_ptr<PtNode>> nodes_;
+    PtNodeIndex rootIndex_ = invalidPtNodeIndex;
+
+    /** All nodes, in creation order. Indices are stable; the vector only
+     *  grows (node frames are freed in the destructor alone). */
+    std::vector<PtNode> slab_;
+
+    /** pfn -> slab index, maintained for the frame-keyed interface. */
+    std::unordered_map<Pfn, PtNodeIndex> pfnToIndex_;
 };
 
 } // namespace asap

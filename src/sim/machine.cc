@@ -49,19 +49,13 @@ Machine::refreshDescriptors()
 }
 
 Machine::TranslateResult
-Machine::translate(VirtAddr va, Cycles now)
+Machine::translateMiss(VirtAddr va, Cycles now)
 {
     TranslateResult out;
-    const TlbHierarchy::Result tlbRes = tlb_.lookup(va);
-    if (tlbRes.hit()) {
-        out.tlbLevel = tlbRes.level;
-        out.translation = tlbRes.translation;
-        return out;
-    }
-
     out.walked = true;
     if (!system_.virtualized()) {
-        WalkResult walk = nativeWalker_->walk(va, now);
+        WalkResult &walk = walkScratch_;
+        nativeWalker_->walk(va, now, walk);
         if (walk.fault) {
             // The OS services the fault; the walker then replays. The
             // (microsecond-scale) software fault cost is excluded from
@@ -69,13 +63,12 @@ Machine::translate(VirtAddr va, Cycles now)
             out.faulted = true;
             ++faultsServiced_;
             system_.touch(va);
-            walk = nativeWalker_->walk(va, now);
+            nativeWalker_->walk(va, now, walk);
             panic_if(walk.fault, "fault persists after OS service");
         }
         out.walkLatency = walk.latency;
         out.translation = walk.translation;
-        out.servedBy = walk.servedBy;
-        out.requested = walk.requested;
+        out.walk = &walk;
         tlb_.fill(va, walk.translation, &system_.appPt());
     } else {
         NestedWalkResult walk = nestedWalker_->walk(va, now);
@@ -88,6 +81,8 @@ Machine::translate(VirtAddr va, Cycles now)
         }
         out.walkLatency = walk.latency;
         out.translation = walk.translation;
+        // Nested walks carry no per-level breakdown: out.walk stays
+        // null.
         tlb_.fill(va, walk.translation, nullptr);
     }
     return out;

@@ -58,17 +58,34 @@ class Machine
         bool faulted = false;
         Cycles walkLatency = 0;
         Translation translation;
-        /** Per-PT-level serving breakdown (1D walks only; Figure 9). */
-        std::array<MemLevel, 6> servedBy{};
-        std::array<bool, 6> requested{};
+        /**
+         * Per-PT-level serving breakdown (native 1D walks only;
+         * Figure 9). Points into the Machine's walk scratch — valid
+         * until the next translate() call; nullptr when no breakdown
+         * exists (TLB hit, or a nested walk).
+         */
+        const WalkResult *walk = nullptr;
     };
 
     /**
      * Translate @p va at time @p now: TLB lookup, and on a miss a full
      * (possibly nested) page walk with ASAP prefetching if configured.
      * Page faults are serviced by the System and the walk is replayed.
+     * The TLB-hit fast path is inline — it runs once per simulated
+     * access; walks take the out-of-line miss path.
      */
-    TranslateResult translate(VirtAddr va, Cycles now);
+    TranslateResult
+    translate(VirtAddr va, Cycles now)
+    {
+        const TlbHierarchy::Result tlbRes = tlb_.lookup(va);
+        if (tlbRes.hit()) {
+            TranslateResult out;
+            out.tlbLevel = tlbRes.level;
+            out.translation = tlbRes.translation;
+            return out;
+        }
+        return translateMiss(va, now);
+    }
 
     /** A demand data access (cache pressure + latency, no TLB). */
     Cycles
@@ -100,8 +117,15 @@ class Machine
     std::uint64_t faults() const { return faultsServiced_; }
 
   private:
+    /** TLB-miss path of translate(): the (possibly nested) walk. */
+    TranslateResult translateMiss(VirtAddr va, Cycles now);
+
     System &system_;
     MachineConfig config_;
+
+    /** Result storage for the most recent native 1D walk (see
+     *  TranslateResult::walk). */
+    WalkResult walkScratch_;
 
     MemoryHierarchy mem_;
     TlbHierarchy tlb_;

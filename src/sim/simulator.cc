@@ -3,6 +3,112 @@
 namespace asap
 {
 
+namespace
+{
+
+/** Addresses generated per Workload::nextBatch call. */
+constexpr std::size_t accessBatch = 1024;
+
+} // namespace
+
+template <bool Measuring, bool PerfectTlb>
+void
+Simulator::runPhase(std::uint64_t accesses, const RunConfig &config,
+                    unsigned cpa, Rng &rng, Rng &corunnerRng, Cycles &now,
+                    RunStats &stats)
+{
+    const bool colocation = config.colocation;
+    const unsigned corunnerPerAccess = config.corunnerPerAccess;
+    const Cycles streamingLatency = machine_.mem().config().l1d.latency;
+
+    if (Measuring) {
+        stats.accesses += accesses;
+        stats.computeCycles += cpa * accesses;
+    }
+
+    VirtAddr vas[accessBatch];
+    while (accesses > 0) {
+        const std::size_t batch =
+            accesses < accessBatch ? static_cast<std::size_t>(accesses)
+                                   : accessBatch;
+        accesses -= batch;
+        // The generator draws only from rng and never observes machine
+        // state, so producing a batch up front leaves every simulated
+        // event in the exact order of the access-at-a-time loop.
+        workload_.nextBatch(rng, vas, batch);
+
+        for (std::size_t i = 0; i < batch; ++i) {
+            const VirtAddr va = vas[i];
+
+            Cycles walkLatency = 0;
+            Translation translation;
+            if (PerfectTlb) {
+                // Ideal TLB: translation is free (Table 6 methodology:
+                // execution with page walks eliminated).
+                translation = system_.touch(va).translation;
+            } else {
+                const Machine::TranslateResult result =
+                    machine_.translate(va, now);
+                translation = result.translation;
+                walkLatency = result.walkLatency;
+                if (Measuring) {
+                    switch (result.tlbLevel) {
+                      case TlbHitLevel::L1:
+                        ++stats.tlbL1Hits;
+                        break;
+                      case TlbHitLevel::L2:
+                        ++stats.tlbL2Hits;
+                        break;
+                      case TlbHitLevel::Miss:
+                        ++stats.tlbMisses;
+                        break;
+                    }
+                    if (result.faulted)
+                        ++stats.faults;
+                    if (result.walked) {
+                        stats.walkLatency.sample(walkLatency);
+                        if (result.walk) {
+                            for (unsigned level = 1; level <= 5;
+                                 ++level) {
+                                if (result.walk->requested[level]) {
+                                    stats.levelDist[level].record(
+                                        result.walk->servedBy[level]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            const PhysAddr pa = translation.physAddrOf(va);
+            Cycles dataLatency = machine_.dataAccess(pa);
+            // Streaming accesses are covered by the ubiquitous next-line
+            // data prefetcher: the fill (and its cache pressure) is real,
+            // but the core does not expose the miss latency.
+            if (va == lastVa_ + lineSize)
+                dataLatency = streamingLatency;
+            lastVa_ = va;
+
+            now += cpa + dataLatency + walkLatency;
+            if (Measuring) {
+                // accesses/compute/total are derived outside the loop:
+                // accesses = the phase's count, computeCycles =
+                // cpa * accesses, totalCycles = the three components.
+                stats.dataCycles += dataLatency;
+                stats.walkCycles += walkLatency;
+            }
+
+            // SMT co-runner: one random access per workload access
+            // (Section 4), contending for the shared cache hierarchy
+            // only.
+            if (colocation) {
+                for (unsigned c = 0; c < corunnerPerAccess; ++c)
+                    machine_.corunnerAccess(corunnerRng);
+            }
+        }
+    }
+}
+
 RunStats
 Simulator::run(const RunConfig &config)
 {
@@ -14,74 +120,20 @@ Simulator::run(const RunConfig &config)
     RunStats stats;
     Cycles now = 0;
 
-    const std::uint64_t total =
-        config.warmupAccesses + config.measureAccesses;
-    for (std::uint64_t i = 0; i < total; ++i) {
-        const bool measuring = i >= config.warmupAccesses;
-        const VirtAddr va = workload_.next(rng);
-
-        Cycles walkLatency = 0;
-        Translation translation;
-        if (config.perfectTlb) {
-            // Ideal TLB: translation is free (Table 6 methodology:
-            // execution with page walks eliminated).
-            translation = system_.touch(va).translation;
-        } else {
-            const Machine::TranslateResult result =
-                machine_.translate(va, now);
-            translation = result.translation;
-            walkLatency = result.walkLatency;
-            if (measuring) {
-                switch (result.tlbLevel) {
-                  case TlbHitLevel::L1:
-                    ++stats.tlbL1Hits;
-                    break;
-                  case TlbHitLevel::L2:
-                    ++stats.tlbL2Hits;
-                    break;
-                  case TlbHitLevel::Miss:
-                    ++stats.tlbMisses;
-                    break;
-                }
-                if (result.faulted)
-                    ++stats.faults;
-                if (result.walked) {
-                    stats.walkLatency.sample(walkLatency);
-                    for (unsigned level = 1; level <= 5; ++level) {
-                        if (result.requested[level]) {
-                            stats.levelDist[level].record(
-                                result.servedBy[level]);
-                        }
-                    }
-                }
-            }
-        }
-
-        const PhysAddr pa = translation.physAddrOf(va);
-        Cycles dataLatency = machine_.dataAccess(pa);
-        // Streaming accesses are covered by the ubiquitous next-line
-        // data prefetcher: the fill (and its cache pressure) is real,
-        // but the core does not expose the miss latency.
-        if (va == lastVa_ + lineSize)
-            dataLatency = machine_.mem().config().l1d.latency;
-        lastVa_ = va;
-
-        now += cpa + dataLatency + walkLatency;
-        if (measuring) {
-            ++stats.accesses;
-            stats.computeCycles += cpa;
-            stats.dataCycles += dataLatency;
-            stats.walkCycles += walkLatency;
-            stats.totalCycles += cpa + dataLatency + walkLatency;
-        }
-
-        // SMT co-runner: one random access per workload access
-        // (Section 4), contending for the shared cache hierarchy only.
-        if (config.colocation) {
-            for (unsigned c = 0; c < config.corunnerPerAccess; ++c)
-                machine_.corunnerAccess(corunnerRng);
-        }
+    if (config.perfectTlb) {
+        runPhase<false, true>(config.warmupAccesses, config, cpa, rng,
+                              corunnerRng, now, stats);
+        runPhase<true, true>(config.measureAccesses, config, cpa, rng,
+                             corunnerRng, now, stats);
+    } else {
+        runPhase<false, false>(config.warmupAccesses, config, cpa, rng,
+                               corunnerRng, now, stats);
+        runPhase<true, false>(config.measureAccesses, config, cpa, rng,
+                              corunnerRng, now, stats);
     }
+
+    stats.totalCycles =
+        stats.computeCycles + stats.dataCycles + stats.walkCycles;
 
     const auto engineStats = [](const AsapEngine *engine) {
         AsapEngineStats s;

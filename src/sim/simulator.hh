@@ -117,6 +117,17 @@ class Simulator
     RunStats run(const RunConfig &config);
 
   private:
+    /**
+     * One simulation phase (warmup or measurement) over @p accesses
+     * addresses. Measuring and PerfectTlb are compile-time so the inner
+     * loop carries neither branch; addresses are consumed in batches
+     * (one virtual dispatch per batch, see Workload::nextBatch).
+     */
+    template <bool Measuring, bool PerfectTlb>
+    void runPhase(std::uint64_t accesses, const RunConfig &config,
+                  unsigned cpa, Rng &rng, Rng &corunnerRng, Cycles &now,
+                  RunStats &stats);
+
     System &system_;
     Machine &machine_;
     Workload &workload_;

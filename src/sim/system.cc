@@ -167,13 +167,15 @@ System::touch(VirtAddr va)
         ensureBacked(result.translation.physAddrOf(alignDown(va,
                                                              pageSize)));
         const PageTable &pt = appSpace_->pageTable();
-        Pfn nodePfn = pt.rootPfn();
+        PtNodeIndex nodeIndex = pt.rootIndex();
         for (unsigned level = pt.levels(); level >= 1; --level) {
-            ensureBacked(static_cast<PhysAddr>(nodePfn) << pageShift);
-            const Pte entry = pt.readEntry(nodePfn, va, level);
+            const PtNode &node = pt.nodeAt(nodeIndex);
+            ensureBacked(static_cast<PhysAddr>(node.pfn) << pageShift);
+            const unsigned slot = levelIndex(va, level);
+            const Pte entry = node.entries[slot];
             if (!entry.present() || entry.isLeaf(level))
                 break;
-            nodePfn = entry.pfn();
+            nodeIndex = node.children[slot];
         }
     }
     return result;

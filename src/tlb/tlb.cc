@@ -11,69 +11,15 @@ Tlb::Tlb(const TlbConfig &config) : config_(config)
              "%s: bad associativity", config_.name.c_str());
     fatal_if(!isPow2(config_.numSets()),
              "%s: set count must be a power of two", config_.name.c_str());
-    entries_.resize(config_.entries);
-}
-
-std::optional<Translation>
-Tlb::lookup(VirtAddr va)
-{
-    for (unsigned level = 1; level <= 3; ++level) {
-        if (!(config_.levelMask & (1u << (level - 1))))
-            continue;
-        const std::uint64_t tag = tagOf(va, level);
-        const std::uint64_t set = setOf(tag);
-        Entry *base = &entries_[set * config_.ways];
-        for (unsigned w = 0; w < config_.ways; ++w) {
-            Entry &entry = base[w];
-            if (entry.leafLevel == level && entry.tag == tag) {
-                entry.lastUse = ++tick_;
-                ++hits_;
-                return entry.translation;
-            }
-        }
-    }
-    ++misses_;
-    return std::nullopt;
-}
-
-void
-Tlb::fill(VirtAddr va, const Translation &translation)
-{
-    const unsigned level = translation.leafLevel;
-    panic_if(level < 1 || level > 3, "TLB fill with leaf level %u", level);
-    panic_if(!(config_.levelMask & (1u << (level - 1))),
-             "%s: fill with unsupported page size level %u",
-             config_.name.c_str(), level);
-    const std::uint64_t tag = tagOf(va, level);
-    const std::uint64_t set = setOf(tag);
-    Entry *base = &entries_[set * config_.ways];
-    Entry *victim = &base[0];
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        Entry &entry = base[w];
-        if (entry.leafLevel == level && entry.tag == tag) {
-            entry.translation = translation;   // refresh
-            entry.lastUse = ++tick_;
-            return;
-        }
-        if (entry.leafLevel == 0) {
-            victim = &entry;
-            break;
-        }
-        if (entry.lastUse < victim->lastUse)
-            victim = &entry;
-    }
-    victim->tag = tag;
-    victim->translation = translation;
-    victim->leafLevel = static_cast<std::uint8_t>(level);
-    victim->lastUse = ++tick_;
+    entries_.init(config_.numSets(), config_.ways);
 }
 
 void
 Tlb::flush()
 {
-    for (auto &entry : entries_)
-        entry.leafLevel = 0;
-    tick_ = 0;
+    entries_.flush();
+    for (auto &count : residentPerLevel_)
+        count = 0;
     hits_ = 0;
     misses_ = 0;
 }
@@ -84,32 +30,7 @@ ClusteredTlb::ClusteredTlb(const TlbConfig &config) : config_(config)
              "%s: bad associativity", config_.name.c_str());
     fatal_if(!isPow2(config_.numSets()),
              "%s: set count must be a power of two", config_.name.c_str());
-    entries_.resize(config_.entries);
-}
-
-std::optional<Translation>
-ClusteredTlb::lookup(VirtAddr va)
-{
-    const Vpn vpn = vpnOf(va);
-    const std::uint64_t tag = vpn >> clusterShift;
-    const unsigned sub = static_cast<unsigned>(vpn & (clusterPages - 1));
-    const std::uint64_t set = setOf(tag);
-    Entry *base = &entries_[set * config_.ways];
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        Entry &entry = base[w];
-        if (entry.valid && entry.tag == tag &&
-            (entry.validMask & (1u << sub))) {
-            entry.lastUse = ++tick_;
-            ++hits_;
-            Translation t;
-            t.leafLevel = 1;
-            t.pfn = (entry.ppnClusterBase << clusterShift) |
-                    entry.offsets[sub];
-            return t;
-        }
-    }
-    ++misses_;
-    return std::nullopt;
+    entries_.init(config_.numSets(), config_.ways);
 }
 
 void
@@ -123,66 +44,53 @@ ClusteredTlb::fill(VirtAddr va, const Translation &translation,
     const std::uint64_t tag = vpn >> clusterShift;
     const std::uint64_t ppnCluster = translation.pfn >> clusterShift;
 
-    Entry filled;
-    filled.tag = tag;
-    filled.ppnClusterBase = ppnCluster;
-    filled.valid = true;
+    std::uint8_t validMask = 0;
+    std::uint8_t offsets[clusterPages] = {};
 
-    // Probe the cluster's neighbours in the page table and coalesce every
-    // page whose frame falls into the same aligned physical cluster.
+    // All eight cluster PTEs live in one PL1 node (the cluster is
+    // 8-page aligned, far smaller than a node's 512-entry span), so one
+    // descent and a scan of adjacent entries replaces eight full
+    // root-to-leaf walks.
     const VirtAddr clusterBase = (tag << clusterShift) << pageShift;
+    const PtNode *node = pt.leafNodeOf(clusterBase);
+    panic_if(!node, "clustered fill without a PL1 node for va %#lx", va);
+    const unsigned baseSlot = levelIndex(clusterBase, 1);
     for (unsigned sub = 0; sub < clusterPages; ++sub) {
-        const VirtAddr nva = clusterBase + (std::uint64_t{sub} << pageShift);
-        const auto nt = pt.lookup(nva);
-        if (nt && nt->leafLevel == 1 &&
-            (nt->pfn >> clusterShift) == ppnCluster) {
-            filled.validMask |= static_cast<std::uint8_t>(1u << sub);
-            filled.offsets[sub] =
-                static_cast<std::uint8_t>(nt->pfn & (clusterPages - 1));
+        const Pte entry = node->entries[baseSlot + sub];
+        if (entry.present() &&
+            (entry.pfn() >> clusterShift) == ppnCluster) {
+            validMask |= static_cast<std::uint8_t>(1u << sub);
+            offsets[sub] =
+                static_cast<std::uint8_t>(entry.pfn() & (clusterPages - 1));
         }
     }
-    panic_if(!(filled.validMask & (1u << (vpn & (clusterPages - 1)))),
+    panic_if(!(validMask & (1u << (vpn & (clusterPages - 1)))),
              "clustered fill lost the triggering page");
 
-    const std::uint64_t set = setOf(tag);
-    Entry *base = &entries_[set * config_.ways];
     // A VPN cluster whose frames straddle two physical clusters needs
     // two entries; replacing by tag alone would make the halves evict
     // each other on every miss. Merge only an exact (tag, physical
     // cluster) match; otherwise pick a normal LRU victim.
-    Entry *victim = nullptr;
-    for (unsigned w = 0; w < config_.ways && !victim; ++w) {
-        Entry &entry = base[w];
-        if (entry.valid && entry.tag == tag &&
-            entry.ppnClusterBase == ppnCluster) {
-            victim = &entry;
-        }
-    }
-    if (!victim) {
-        victim = &base[0];
-        for (unsigned w = 0; w < config_.ways; ++w) {
-            Entry &entry = base[w];
-            if (!entry.valid) {
-                victim = &entry;
-                break;
-            }
-            if (entry.lastUse < victim->lastUse)
-                victim = &entry;
-        }
-    }
-    filled.lastUse = ++tick_;
-    *victim = filled;
+    const auto slot = entries_.findOrVictimWhere(
+        entries_.setOf(tag), SetAssoc<Payload>::keyFor(tag),
+        [ppnCluster](const Payload &p) {
+            return p.ppnClusterBase == ppnCluster;
+        });
+    *slot.way.key = SetAssoc<Payload>::keyFor(tag);
+    slot.way.payload->ppnClusterBase = ppnCluster;
+    slot.way.payload->validMask = validMask;
+    for (unsigned sub = 0; sub < clusterPages; ++sub)
+        slot.way.payload->offsets[sub] = offsets[sub];
+    entries_.touch(slot.way);
     ++filledEntries_;
     filledSubPages_ += static_cast<unsigned>(
-        __builtin_popcount(filled.validMask));
+        __builtin_popcount(validMask));
 }
 
 void
 ClusteredTlb::flush()
 {
-    for (auto &entry : entries_)
-        entry.valid = false;
-    tick_ = 0;
+    entries_.flush();
     hits_ = 0;
     misses_ = 0;
     filledEntries_ = 0;
@@ -205,26 +113,6 @@ TlbHierarchy::TlbHierarchy(const Config &config)
         clustered_.emplace(config_.l2);
     else
         l2_.emplace(config_.l2);
-}
-
-TlbHierarchy::Result
-TlbHierarchy::lookup(VirtAddr va)
-{
-    ++lookups_;
-    if (auto t = l1_.lookup(va))
-        return {TlbHitLevel::L1, *t};
-    if (clustered_) {
-        if (auto t = clustered_->lookup(va)) {
-            l1_.fill(va, *t);
-            return {TlbHitLevel::L2, *t};
-        }
-    } else {
-        if (auto t = l2_->lookup(va)) {
-            l1_.fill(va, *t);
-            return {TlbHitLevel::L2, *t};
-        }
-    }
-    return {TlbHitLevel::Miss, {}};
 }
 
 void

@@ -30,25 +30,31 @@ NestedWalker::walk(VirtAddr va, Cycles now)
     // The guest PWC can skip entire guest levels — including the host
     // 1D walks those levels would have required.
     unsigned level = guestPt_.levels();
-    Pfn nodePfn = guestPt_.rootPfn();
+    PtNodeIndex nodeIndex = guestPt_.rootIndex();
     const PageWalkCaches::Hit hit = guestPwc_.lookupDeepest(va);
     if (hit.valid()) {
         result.latency += guestPwc_.latency();
         level = hit.level - 1;
-        nodePfn = hit.childPfn;
+        nodeIndex = hit.childIndex != invalidPtNodeIndex
+                        ? hit.childIndex
+                        : guestPt_.indexOf(hit.childPfn);
+        panic_if(nodeIndex == invalidPtNodeIndex,
+                 "guest PWC hit on unknown PT frame %#lx", hit.childPfn);
     }
 
     Translation guestLeaf;
     bool haveLeaf = false;
     for (; level >= 1; --level) {
+        const PtNode &node = guestPt_.nodeAt(nodeIndex);
+        const unsigned slot = levelIndex(va, level);
         const PhysAddr gpaEntry =
-            PageTable::entryPhysAddr(nodePfn, va, level);
+            (node.pfn << pageShift) + slot * pteSize;
         backing_.ensureBacked(gpaEntry);
 
         // Host 1D walk to locate the guest PT node in host memory
         // (accesses 1-4, 6-9, 11-14, 16-19 of Figure 7).
-        const WalkResult hostRes = hostWalker_.walk(gpaEntry,
-                                                    now + result.latency);
+        const WalkResult &hostRes = hostScratch_;
+        hostWalker_.walk(gpaEntry, now + result.latency, hostScratch_);
         panic_if(hostRes.fault, "host PT not backed for gpa %#lx",
                  gpaEntry);
         result.latency += hostRes.latency;
@@ -64,7 +70,7 @@ NestedWalker::walk(VirtAddr va, Cycles now)
         result.latency += access.latency;
         ++result.memAccesses;
 
-        const Pte entry = guestPt_.readEntry(nodePfn, va, level);
+        const Pte entry = node.entries[slot];
         if (!entry.present()) {
             result.fault = true;
             ++faults_;
@@ -77,16 +83,16 @@ NestedWalker::walk(VirtAddr va, Cycles now)
             haveLeaf = true;
             break;
         }
-        guestPwc_.insert(level, va, entry.pfn());
-        nodePfn = entry.pfn();
+        guestPwc_.insert(level, va, entry.pfn(), node.children[slot]);
+        nodeIndex = node.children[slot];
     }
     panic_if(!haveLeaf, "nested walk fell through below PL1 for %#lx", va);
 
     // Final host walk for the data page (accesses 21-24).
     const PhysAddr gpaData = guestLeaf.physAddrOf(alignDown(va, pageSize));
     backing_.ensureBacked(gpaData);
-    const WalkResult hostRes = hostWalker_.walk(gpaData,
-                                                now + result.latency);
+    const WalkResult &hostRes = hostScratch_;
+    hostWalker_.walk(gpaData, now + result.latency, hostScratch_);
     panic_if(hostRes.fault, "host PT not backed for data gpa %#lx",
              gpaData);
     result.latency += hostRes.latency;

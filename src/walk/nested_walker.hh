@@ -95,6 +95,9 @@ class NestedWalker
 
     std::uint64_t walks_ = 0;
     std::uint64_t faults_ = 0;
+
+    /** Result storage reused by the constituent host 1D walks. */
+    WalkResult hostScratch_;
 };
 
 } // namespace asap

@@ -11,103 +11,64 @@ PageWalkCaches::PageWalkCaches(const PwcConfig &config, unsigned ptLevels)
     fatal_if(ptLevels < 2 || ptLevels > 5, "bad PT level count %u",
              ptLevels);
     for (unsigned level = 2; level <= ptLevels_; ++level) {
-        auto &geometry = config_.level[level];
-        auto &cache = caches_[level];
-        cache.entries = geometry.entries;
-        cache.ways = geometry.ways == 0 ? geometry.entries : geometry.ways;
-        if (cache.entries > 0) {
-            fatal_if(cache.entries % cache.ways != 0,
-                     "PWC level %u: bad associativity", level);
-            fatal_if(!isPow2(cache.entries / cache.ways),
-                     "PWC level %u: set count must be a power of two",
-                     level);
-            cache.slots.resize(cache.entries);
-        }
+        const auto &geometry = config_.level[level];
+        if (geometry.entries == 0)
+            continue;
+        const unsigned ways =
+            geometry.ways == 0 ? geometry.entries : geometry.ways;
+        fatal_if(geometry.entries % ways != 0,
+                 "PWC level %u: bad associativity", level);
+        fatal_if(!isPow2(geometry.entries / ways),
+                 "PWC level %u: set count must be a power of two", level);
+        caches_[level].init(geometry.entries / ways, ways);
     }
-}
-
-bool
-PageWalkCaches::LevelCache::lookup(std::uint64_t tag, Pfn &childPfn,
-                                   std::uint64_t tick)
-{
-    if (entries == 0)
-        return false;
-    const std::uint64_t sets = entries / ways;
-    const std::uint64_t set = tag & (sets - 1);
-    Entry *base = &slots[set * ways];
-    for (unsigned w = 0; w < ways; ++w) {
-        Entry &entry = base[w];
-        if (entry.valid && entry.tag == tag) {
-            entry.lastUse = tick;
-            childPfn = entry.childPfn;
-            return true;
-        }
-    }
-    return false;
-}
-
-void
-PageWalkCaches::LevelCache::insert(std::uint64_t tag, Pfn childPfn,
-                                   std::uint64_t tick)
-{
-    if (entries == 0)
-        return;
-    const std::uint64_t sets = entries / ways;
-    const std::uint64_t set = tag & (sets - 1);
-    Entry *base = &slots[set * ways];
-    Entry *victim = &base[0];
-    for (unsigned w = 0; w < ways; ++w) {
-        Entry &entry = base[w];
-        if (entry.valid && entry.tag == tag) {
-            entry.childPfn = childPfn;
-            entry.lastUse = tick;
-            return;
-        }
-        if (!entry.valid) {
-            victim = &entry;
-            break;
-        }
-        if (entry.lastUse < victim->lastUse)
-            victim = &entry;
-    }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->childPfn = childPfn;
-    victim->lastUse = tick;
 }
 
 PageWalkCaches::Hit
 PageWalkCaches::lookupDeepest(VirtAddr va)
 {
     ++lookups_;
-    ++tick_;
     // Deepest level first: a PL2 hit skips the most work.
     for (unsigned level = 2; level <= ptLevels_; ++level) {
-        Pfn childPfn = invalidPfn;
-        if (caches_[level].lookup(tagOf(va, level), childPfn, tick_)) {
+        SetAssoc<Payload> &cache = caches_[level];
+        if (cache.empty())
+            continue;
+        const std::uint64_t tag = tagOf(va, level);
+        const auto way = cache.find(cache.setOf(tag),
+                                    SetAssoc<Payload>::keyFor(tag));
+        if (way) {
+            cache.touch(way);
             ++hits_;
-            return {level, childPfn};
+            return {level, way.payload->childPfn,
+                    way.payload->childIndex};
         }
     }
     return {};
 }
 
 void
-PageWalkCaches::insert(unsigned level, VirtAddr va, Pfn childPfn)
+PageWalkCaches::insert(unsigned level, VirtAddr va, Pfn childPfn,
+                       PtNodeIndex childIndex)
 {
     panic_if(level < 2 || level > ptLevels_,
              "PWC insert at level %u", level);
-    caches_[level].insert(tagOf(va, level), childPfn, ++tick_);
+    SetAssoc<Payload> &cache = caches_[level];
+    if (cache.empty())
+        return;
+    const std::uint64_t tag = tagOf(va, level);
+    const auto slot = cache.findOrVictim(cache.setOf(tag),
+                                         SetAssoc<Payload>::keyFor(tag));
+    *slot.way.key = SetAssoc<Payload>::keyFor(tag);
+    slot.way.payload->childPfn = childPfn;
+    slot.way.payload->childIndex = childIndex;
+    cache.touch(slot.way);
 }
 
 void
 PageWalkCaches::flush()
 {
-    for (auto &cache : caches_) {
-        for (auto &entry : cache.slots)
-            entry.valid = false;
-    }
-    tick_ = 0;
+    for (auto &cache : caches_)
+        cache.flush();
     hits_ = 0;
     lookups_ = 0;
 }

@@ -8,6 +8,12 @@
  * that select that entry (va >> levelShift(L)). A hit in the level-2
  * cache therefore lets the walker skip straight to the PL1 access.
  *
+ * Alongside the architectural child pfn, each entry carries the child
+ * node's slab index (see pt/page_table.hh) so the walker can resume the
+ * pointer-chased descent without a pfn -> node hash lookup. This is
+ * simulator bookkeeping, not modeled hardware state: it changes no
+ * latency and no replacement decision.
+ *
  * Default geometry (Intel Core i7-like): PL4 2 entries fully assoc.,
  * PL3 4 entries fully assoc., PL2 32 entries 4-way, 2-cycle access.
  * PL1 entries are never cached here — they go to the TLBs.
@@ -17,9 +23,10 @@
 #define ASAP_WALK_PWC_HH
 
 #include <cstdint>
-#include <vector>
 
+#include "common/set_assoc.hh"
 #include "common/types.hh"
+#include "pt/page_table.hh"
 
 namespace asap
 {
@@ -68,6 +75,8 @@ class PageWalkCaches
     {
         unsigned level = 0;   ///< level of the cached entry (0 = miss)
         Pfn childPfn = invalidPfn;  ///< node the walker continues from
+        /** Slab index of that node (pt/page_table.hh). */
+        PtNodeIndex childIndex = invalidPtNodeIndex;
 
         bool valid() const { return level != 0; }
     };
@@ -78,8 +87,10 @@ class PageWalkCaches
      */
     Hit lookupDeepest(VirtAddr va);
 
-    /** Cache the level-@p level entry for @p va (child node @p pfn). */
-    void insert(unsigned level, VirtAddr va, Pfn childPfn);
+    /** Cache the level-@p level entry for @p va (child node @p pfn,
+     *  living at @p childIndex in its table's slab). */
+    void insert(unsigned level, VirtAddr va, Pfn childPfn,
+                PtNodeIndex childIndex = invalidPtNodeIndex);
 
     /** Invalidate everything (context switch / scenario reset). */
     void flush();
@@ -90,22 +101,11 @@ class PageWalkCaches
     std::uint64_t lookups() const { return lookups_; }
 
   private:
-    struct Entry
+    /** Per-way state beyond the VA tag. */
+    struct Payload
     {
-        std::uint64_t tag = 0;
         Pfn childPfn = invalidPfn;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-    };
-
-    struct LevelCache
-    {
-        unsigned entries = 0;
-        unsigned ways = 0;          ///< effective ways (== entries if FA)
-        std::vector<Entry> slots;
-
-        bool lookup(std::uint64_t tag, Pfn &childPfn, std::uint64_t tick);
-        void insert(std::uint64_t tag, Pfn childPfn, std::uint64_t tick);
+        PtNodeIndex childIndex = invalidPtNodeIndex;
     };
 
     static std::uint64_t
@@ -116,8 +116,7 @@ class PageWalkCaches
 
     PwcConfig config_;
     unsigned ptLevels_;
-    LevelCache caches_[6];
-    std::uint64_t tick_ = 0;
+    SetAssoc<Payload> caches_[6];
     std::uint64_t hits_ = 0;
     std::uint64_t lookups_ = 0;
 };

@@ -12,11 +12,11 @@ PageWalker::PageWalker(const PageTable &pt, MemoryHierarchy &mem,
 {
 }
 
-WalkResult
-PageWalker::walk(VirtAddr va, Cycles now)
+void
+PageWalker::walk(VirtAddr va, Cycles now, WalkResult &result)
 {
     ++walks_;
-    WalkResult result;
+    result = WalkResult{};
 
     // ASAP: prefetches launch concurrently with the walker's first
     // access (paper Figure 4b).
@@ -26,7 +26,7 @@ PageWalker::walk(VirtAddr va, Cycles now)
     // Start from the deepest PWC hit; skipped levels count as
     // PWC-served (Figure 9 semantics).
     unsigned level = pt_.levels();
-    Pfn nodePfn = pt_.rootPfn();
+    PtNodeIndex nodeIndex = pt_.rootIndex();
     const PageWalkCaches::Hit hit = pwc_.lookupDeepest(va);
     if (hit.valid()) {
         result.latency += pwc_.latency();
@@ -35,12 +35,18 @@ PageWalker::walk(VirtAddr va, Cycles now)
             result.record(skipped, MemLevel::Pwc);
         }
         level = hit.level - 1;
-        nodePfn = hit.childPfn;
+        nodeIndex = hit.childIndex != invalidPtNodeIndex
+                        ? hit.childIndex
+                        : pt_.indexOf(hit.childPfn);
+        panic_if(nodeIndex == invalidPtNodeIndex,
+                 "PWC hit on unknown PT frame %#lx", hit.childPfn);
     }
 
     for (; level >= 1; --level) {
+        const PtNode &node = pt_.nodeAt(nodeIndex);
+        const unsigned slot = levelIndex(va, level);
         const PhysAddr entryPa =
-            PageTable::entryPhysAddr(nodePfn, va, level);
+            (node.pfn << pageShift) + slot * pteSize;
         const PhysAddr tagPa =
             mapper_ ? mapper_->mapEntryAddr(entryPa) : entryPa;
         const AccessResult access = mem_.access(tagPa,
@@ -48,21 +54,21 @@ PageWalker::walk(VirtAddr va, Cycles now)
         result.latency += access.latency;
         result.record(level, access.servedBy);
 
-        const Pte entry = pt_.readEntry(nodePfn, va, level);
+        const Pte entry = node.entries[slot];
         if (!entry.present()) {
             result.fault = true;
             ++faults_;
-            return result;
+            return;
         }
         if (entry.isLeaf(level)) {
             result.translation.pfn = entry.pfn();
             result.translation.leafLevel = level;
             result.translation.pteAddr = entryPa;
-            return result;
+            return;
         }
         // Intermediate entry: cache it for future walks.
-        pwc_.insert(level, va, entry.pfn());
-        nodePfn = entry.pfn();
+        pwc_.insert(level, va, entry.pfn(), node.children[slot]);
+        nodeIndex = node.children[slot];
     }
 
     panic("walk fell through below PL1 for va %#lx", va);

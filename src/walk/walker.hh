@@ -89,8 +89,20 @@ class PageWalker
      * Faults (non-present entries) terminate the walk with fault=true;
      * ASAP prefetches still fire, accelerating fault detection
      * (Section 3.7.1).
+     *
+     * The out-parameter form is the hot path (one walk per TLB miss,
+     * several per nested walk): it reuses the caller's result storage
+     * instead of copying the per-level arrays around.
      */
-    WalkResult walk(VirtAddr va, Cycles now);
+    void walk(VirtAddr va, Cycles now, WalkResult &result);
+
+    WalkResult
+    walk(VirtAddr va, Cycles now)
+    {
+        WalkResult result;
+        walk(va, now, result);
+        return result;
+    }
 
     void setHook(PrefetchHook *hook) { hook_ = hook; }
     PageWalkCaches &pwc() { return pwc_; }

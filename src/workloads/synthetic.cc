@@ -1,5 +1,6 @@
 #include "workloads/synthetic.hh"
 
+#include <cmath>
 #include <memory>
 
 #include "common/logging.hh"
@@ -7,6 +8,16 @@
 
 namespace asap
 {
+
+std::uint64_t
+SyntheticWorkload::probThreshold(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return std::uint64_t{1} << 53;
+    return static_cast<std::uint64_t>(std::ceil(std::ldexp(p, 53)));
+}
 
 SyntheticWorkload::SyntheticWorkload(WorkloadSpec spec)
     : spec_(std::move(spec))
@@ -19,6 +30,15 @@ SyntheticWorkload::SyntheticWorkload(WorkloadSpec spec)
                            spec_.windowFraction;
     fatal_if(mixture > 1.0, "%s: access mixture exceeds 1.0",
              spec_.name.c_str());
+
+    // The thresholds mirror the exact comparisons generate() used to
+    // perform in doubles, including the evaluation order of the
+    // partial sums (see probThreshold).
+    burstThreshold_ = probThreshold(spec_.burstContinueProb);
+    seqThreshold_ = probThreshold(spec_.seqFraction);
+    const double seqNear = spec_.seqFraction + spec_.nearFraction;
+    seqNearThreshold_ = probThreshold(seqNear);
+    windowThreshold_ = probThreshold(seqNear + spec_.windowFraction);
 }
 
 void
@@ -103,11 +123,10 @@ SyntheticWorkload::lineOffset(std::uint64_t page, Rng &rng) const
 }
 
 VirtAddr
-SyntheticWorkload::next(Rng &rng)
+SyntheticWorkload::generate(Rng &rng)
 {
     // Intra-page burst: successive lines of the same page (one object).
-    if (spec_.burstContinueProb > 0.0 &&
-        rng.real() < spec_.burstContinueProb) {
+    if (burstThreshold_ != 0 && (rng.next() >> 11) < burstThreshold_) {
         ++burstLine_;
         const std::uint64_t linesInPage = pageSize / lineSize;
         const std::uint64_t window =
@@ -122,10 +141,10 @@ SyntheticWorkload::next(Rng &rng)
     }
     burstLine_ = 0;
 
-    const double r = rng.real();
+    const std::uint64_t r = rng.next() >> 11;
     std::uint64_t page;
 
-    if (r < spec_.seqFraction) {
+    if (r < seqThreshold_) {
         // Line-granular scan over the footprint.
         seqByte_ += lineSize;
         if (seqByte_ >= totalPages_ * pageSize)
@@ -135,7 +154,7 @@ SyntheticWorkload::next(Rng &rng)
         return pageVa(page) + (seqByte_ & pageOffsetMask);
     }
 
-    if (r < spec_.seqFraction + spec_.nearFraction) {
+    if (r < seqNearThreshold_) {
         // Spatially-near access: within +/-3 pages of the last one.
         // These are the misses Clustered TLB can coalesce.
         const std::uint64_t delta = 1 + rng.below(3);
@@ -148,8 +167,7 @@ SyntheticWorkload::next(Rng &rng)
     } else if (zipf_) {
         page = zipf_->next(rng);
     } else if (spec_.windowFraction > 0.0 && spec_.windowPages > 0 &&
-               r < spec_.seqFraction + spec_.nearFraction +
-                       spec_.windowFraction) {
+               r < windowThreshold_) {
         // Warm window: quadratic skew toward the window head, so a
         // TLB-reach-sized subset stays hot while the tail keeps missing.
         const std::uint64_t window =

@@ -93,7 +93,14 @@ class SyntheticWorkload : public Workload
     const std::string &name() const override { return spec_.name; }
     void setup(System &system) override;
     void reset(Rng &rng) override;
-    VirtAddr next(Rng &rng) override;
+    VirtAddr next(Rng &rng) override { return generate(rng); }
+
+    void
+    nextBatch(Rng &rng, VirtAddr *out, std::size_t count) override
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = generate(rng);
+    }
 
     unsigned
     computeCyclesPerAccess() const override
@@ -106,8 +113,26 @@ class SyntheticWorkload : public Workload
     const WorkloadSpec &spec() const { return spec_; }
 
   private:
+    /** The non-virtual generation core behind next()/nextBatch(). */
+    VirtAddr generate(Rng &rng);
+
     VirtAddr pageVa(std::uint64_t pageIndex) const;
     std::uint64_t lineOffset(std::uint64_t page, Rng &rng) const;
+
+    /**
+     * Integer threshold with (next() >> 11) < threshold exactly
+     * equivalent to Rng::real() < p: real() is k * 2^-53 with
+     * k = next() >> 11, and ldexp scales p by 2^53 without rounding,
+     * so k < ceil(p * 2^53) iff k * 2^-53 < p. Lets the access-mixture
+     * draws skip the int-to-double conversions without changing one
+     * bit of the generated stream.
+     */
+    static std::uint64_t probThreshold(double p);
+
+    std::uint64_t burstThreshold_ = 0;
+    std::uint64_t seqThreshold_ = 0;
+    std::uint64_t seqNearThreshold_ = 0;
+    std::uint64_t windowThreshold_ = 0;
 
     WorkloadSpec spec_;
 

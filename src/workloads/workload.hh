@@ -13,6 +13,7 @@
 #ifndef ASAP_WORKLOADS_WORKLOAD_HH
 #define ASAP_WORKLOADS_WORKLOAD_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -40,6 +41,20 @@ class Workload
 
     /** Next memory-access virtual address. */
     virtual VirtAddr next(Rng &rng) = 0;
+
+    /**
+     * Generate the next @p count addresses into @p out — the same
+     * stream next() would produce, but with one virtual dispatch per
+     * batch instead of per access (the simulation inner loop consumes
+     * addresses this way). Generators should override this with a loop
+     * over their non-virtual generation core.
+     */
+    virtual void
+    nextBatch(Rng &rng, VirtAddr *out, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = next(rng);
+    }
 
     /** Core (non-memory) cycles between memory accesses — the
      *  execution-time model's compute component. */

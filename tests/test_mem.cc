@@ -81,6 +81,26 @@ TEST(Cache, Invalidate)
     cache.invalidate(0x3000);   // absent: no-op
 }
 
+TEST(Cache, InvalidateDoesNotShadowLaterWays)
+{
+    // Invalidating one line must not leave a hole that makes a still-
+    // resident line in a later way invisible to the insert-path scan
+    // (which stops at the first invalid way).
+    Cache cache(smallCache(1024, 2));
+    const PhysAddr a = 0 << 6, b = 8 << 6;
+    cache.insert(a);        // way 0
+    cache.insert(b);        // way 1
+    cache.invalidate(a);
+    // The fused access path stops its scan at the first invalid way;
+    // invalidate() must have compacted the set so b is still found.
+    EXPECT_TRUE(cache.accessAndFill(b));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+    cache.insert(a);        // must land in the freed slot
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_TRUE(cache.probe(b));
+}
+
 TEST(Cache, InsertExistingRefreshes)
 {
     Cache cache(smallCache(1024, 2));
@@ -243,6 +263,47 @@ TEST(Hierarchy, DuplicatePrefetchNotReissued)
     EXPECT_TRUE(mem.prefetch(0x5000000, 0));
     EXPECT_FALSE(mem.prefetch(0x5000000, 1));
     EXPECT_EQ(mem.prefetchesIssued(), 1u);
+}
+
+TEST(Hierarchy, NoMergePathLeavesCountersAlone)
+{
+    // The common demand-access case: prefetches in flight, but none
+    // targeting the accessed line. The MSHR scan must neither merge
+    // nor drop anything, and the in-flight set must stay intact.
+    MemoryHierarchy mem;
+    EXPECT_TRUE(mem.prefetch(0x1000000, 0));
+    EXPECT_TRUE(mem.prefetch(0x2000000, 0));
+    EXPECT_EQ(mem.inflightPrefetches(), 2u);
+    const AccessResult res = mem.access(0x3000000, 10);
+    EXPECT_EQ(res.servedBy, MemLevel::Dram);
+    EXPECT_EQ(mem.prefetchMerges(), 0u);
+    EXPECT_EQ(mem.prefetchesDropped(), 0u);
+    EXPECT_EQ(mem.inflightPrefetches(), 2u);
+    // The targeted line, by contrast, is merged and its slot released.
+    const AccessResult hit = mem.access(0x1000000, 10);
+    EXPECT_EQ(hit.latency, mem.config().memLatency - 10);
+    EXPECT_EQ(mem.prefetchMerges(), 1u);
+    EXPECT_EQ(mem.inflightPrefetches(), 1u);
+}
+
+TEST(Hierarchy, RetirePacksMshrFile)
+{
+    // Retiring completed fills during a later prefetch frees slots for
+    // new prefetches without disturbing still-pending ones.
+    HierarchyConfig config;
+    config.prefetchMshrs = 2;
+    MemoryHierarchy mem(config);
+    EXPECT_TRUE(mem.prefetch(0x1000000, 0));     // done at t=191
+    EXPECT_TRUE(mem.prefetch(0x2000000, 100));   // done at t=291
+    EXPECT_EQ(mem.inflightPrefetches(), 2u);
+    // t=200: the first fill completed; its slot must be reclaimed.
+    EXPECT_TRUE(mem.prefetch(0x4000000, 200));
+    EXPECT_EQ(mem.prefetchesDropped(), 0u);
+    EXPECT_EQ(mem.inflightPrefetches(), 2u);
+    // The still-pending second prefetch must still merge.
+    const AccessResult res = mem.access(0x2000000, 250);
+    EXPECT_EQ(res.latency, 291u - 250u);
+    EXPECT_EQ(mem.prefetchMerges(), 1u);
 }
 
 TEST(Hierarchy, AccessPlainIgnoresInflightPrefetches)

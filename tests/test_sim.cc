@@ -5,8 +5,11 @@
  * the headline ASAP behaviours end-to-end (small scale).
  */
 
+#include <map>
+
 #include <gtest/gtest.h>
 
+#include "golden_scenarios.hh"
 #include "sim/environment.hh"
 #include "sim/machine.hh"
 #include "sim/simulator.hh"
@@ -362,6 +365,107 @@ TEST(Suite, Table2VmaCounts)
         const auto spec = specByName(name);
         ASSERT_TRUE(spec.has_value()) << name;
         EXPECT_EQ(spec->smallVmas + spec->dataVmas, total) << name;
+    }
+}
+
+/**
+ * Refactor-safety goldens: the complete observable RunStats of six
+ * structurally distinct configurations, pinned bit-for-bit.
+ *
+ * The literals were captured from the pre-refactor simulator (PR 1
+ * tree) with examples/golden_dump.cpp; any hot-path rework — slab page
+ * tables, unified set-associative arrays, flat MSHRs, loop
+ * restructuring — must reproduce every value exactly. Regenerate with
+ * golden_dump only for *intentional* model changes, and say so in the
+ * commit message.
+ */
+TEST(Golden, RunStatsBitIdenticalAcrossConfigs)
+{
+    const std::map<std::string, golden::Expect> expected = {
+        {"native",
+         {8431, 2974, 4595, 0,
+          4595, 268489, 6, 233,
+          1218357, 268489, 901868, 48000,
+          {4595, 4595, 4595, 4595, 0},
+          {0, 4155, 4595, 4595, 0},
+          {1085, 0, 0, 0, 0},
+          0, 0, 0, 0,
+          0}},
+        {"native_asap",
+         {8431, 2974, 4595, 0,
+          4595, 259311, 6, 191,
+          1208559, 259311, 901248, 48000,
+          {4595, 4595, 4595, 4595, 0},
+          {0, 4155, 4595, 4595, 0},
+          {0, 0, 0, 0, 0},
+          6118, 6118, 12236, 4919,
+          0}},
+        {"virt_2d",
+         {8431, 2974, 4595, 0,
+          4595, 596108, 18, 450,
+          1558692, 596108, 914584, 48000,
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, 0},
+          0, 0, 0, 0,
+          0}},
+        {"virt_hugepage_asap",
+         {8431, 2974, 4595, 0,
+          4595, 293313, 18, 197,
+          1242665, 293313, 901352, 48000,
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, 0},
+          {0, 0, 0, 0, 0},
+          6118, 6118, 12236, 4969,
+          5}},
+        {"clustered_l2",
+         {8431, 5784, 1785, 0,
+          1785, 230705, 6, 205,
+          1176233, 230705, 897528, 48000,
+          {1785, 1785, 1785, 1785, 0},
+          {0, 1486, 1785, 1785, 0},
+          {1085, 0, 0, 0, 0},
+          0, 0, 0, 0,
+          0}},
+        {"coloc_asap",
+         {8431, 2974, 4595, 0,
+          4595, 308248, 6, 191,
+          1326390, 308248, 970142, 48000,
+          {4595, 4595, 4595, 4595, 0},
+          {0, 4155, 4595, 4595, 0},
+          {0, 0, 0, 0, 0},
+          6118, 6118, 12236, 6190,
+          0}},
+    };
+
+    for (const golden::Scenario &scenario : golden::goldenScenarios()) {
+        SCOPED_TRACE(scenario.name);
+        const auto it = expected.find(scenario.name);
+        ASSERT_NE(it, expected.end());
+        const golden::Expect &want = it->second;
+        const golden::Expect got =
+            golden::flatten(golden::runScenario(scenario));
+
+        EXPECT_EQ(got.tlbL1Hits, want.tlbL1Hits);
+        EXPECT_EQ(got.tlbL2Hits, want.tlbL2Hits);
+        EXPECT_EQ(got.tlbMisses, want.tlbMisses);
+        EXPECT_EQ(got.faults, want.faults);
+        EXPECT_EQ(got.walkCount, want.walkCount);
+        EXPECT_EQ(got.walkSum, want.walkSum);
+        EXPECT_EQ(got.walkMin, want.walkMin);
+        EXPECT_EQ(got.walkMax, want.walkMax);
+        EXPECT_EQ(got.totalCycles, want.totalCycles);
+        EXPECT_EQ(got.walkCycles, want.walkCycles);
+        EXPECT_EQ(got.dataCycles, want.dataCycles);
+        EXPECT_EQ(got.computeCycles, want.computeCycles);
+        EXPECT_EQ(got.levelTotal, want.levelTotal);
+        EXPECT_EQ(got.levelPwc, want.levelPwc);
+        EXPECT_EQ(got.levelDram, want.levelDram);
+        EXPECT_EQ(got.appTriggers, want.appTriggers);
+        EXPECT_EQ(got.appRangeHits, want.appRangeHits);
+        EXPECT_EQ(got.appAttempted, want.appAttempted);
+        EXPECT_EQ(got.appIssued, want.appIssued);
+        EXPECT_EQ(got.hostIssued, want.hostIssued);
     }
 }
 
