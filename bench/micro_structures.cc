@@ -7,11 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/interned.hh"
 #include "common/rng.hh"
 #include "common/set_assoc.hh"
 #include "mem/hierarchy.hh"
 #include "os/buddy_allocator.hh"
 #include "os/pt_allocators.hh"
+#include "sim/machine.hh"
+#include "sim/system.hh"
 #include "tlb/tlb.hh"
 #include "walk/pwc.hh"
 #include "walk/walker.hh"
@@ -148,5 +151,49 @@ BM_PageWalk(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PageWalk);
+
+/**
+ * Machine construction cost — the per-cell overhead every sweep pays
+ * before its first simulated access. Regression guard for the
+ * MachineConfig interning: the config's five level names are pooled
+ * pointers, so constructing (and copying the config into) a Machine
+ * performs no name-string heap work.
+ */
+static void
+BM_MachineConstruction(benchmark::State &state)
+{
+    SystemConfig config;
+    config.machineMemBytes = 256_MiB;
+    System system(config);
+    system.mmap(1_MiB, "heap", true);
+    const MachineConfig machineConfig;
+    for (auto _ : state) {
+        Machine machine(system, machineConfig);
+        benchmark::DoNotOptimize(&machine);
+    }
+}
+BENCHMARK(BM_MachineConstruction);
+
+/** Copying a MachineConfig (what SweepSpec::add and Machine do per
+ *  cell): with interned names this is a flat member-wise copy. */
+static void
+BM_MachineConfigCopy(benchmark::State &state)
+{
+    const MachineConfig config;
+    for (auto _ : state) {
+        MachineConfig copy = config;
+        benchmark::DoNotOptimize(&copy);
+    }
+}
+BENCHMARK(BM_MachineConfigCopy);
+
+/** Interning itself (hits the pool's fast path after the first call). */
+static void
+BM_InternName(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(internName("L2-STLB"));
+}
+BENCHMARK(BM_InternName);
 
 BENCHMARK_MAIN();

@@ -9,6 +9,7 @@
  *
  * Usage:
  *   perf_hotpath [--quick] [--reps N] [--only CASE] [--baseline FILE]
+ *                [--sweep] [--trace FILE]
  *
  * --quick     shrink footprints and access counts (CI mode; implies
  *             ASAP_QUICK=1 for the rest of the stack).
@@ -17,6 +18,19 @@
  * --only      run just the named case (profiling workflows).
  * --baseline  compare against a previously emitted BENCH_hotpath.json
  *             and exit non-zero if any case regresses by more than 20%.
+ * --sweep     additionally time a full fig8-style sweep (suite x
+ *             {Baseline,P1,P1+P2} x {iso,coloc}) end to end, wall-clock,
+ *             through the parallel SweepRunner — the composed
+ *             sweep-parallelism x per-cell-speed datapoint (case
+ *             "fig8_sweep" in BENCH_hotpath.json; ASAP_JOBS sets the
+ *             worker count). Unlike the per-case CPU-time metric, this
+ *             one is wall time: overlap across workers is the point.
+ * --trace     run the single-case benchmarks from a recorded trace file
+ *             (see tools/trace_record) instead of the built-in
+ *             generator workload — replay decoding is cheaper than
+ *             generation, and the workload regime is whatever was
+ *             recorded, so compare only against baselines recorded from
+ *             the same trace.
  */
 
 #include <chrono>
@@ -31,6 +45,7 @@
 #include "core/asap_engine.hh"
 #include "exp/json.hh"
 #include "exp/result_table.hh"
+#include "exp/sweep.hh"
 #include "sim/environment.hh"
 #include "workloads/suite.hh"
 
@@ -128,6 +143,67 @@ toJson(const std::vector<CaseTiming> &timings, bool quick)
     return doc;
 }
 
+/**
+ * Time a fig8-style sweep end to end (environment builds + all cells)
+ * through the parallel SweepRunner, wall-clock. Composes with the
+ * per-cell numbers: a per-cell speedup that does not show up here was
+ * eaten by sweep-level serialization.
+ */
+CaseTiming
+timeFig8Sweep(bool quick)
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<WorkloadSpec> specs;
+    if (quick) {
+        // Two structurally distinct workloads keep the quick gate fast
+        // while still exercising multi-environment parallelism.
+        specs = {scaledDown(mcfSpec(), 4), scaledDown(mc80Spec(), 4)};
+    } else {
+        specs = standardSuite();
+    }
+
+    RunConfig run;
+    run.corunnerPerAccess = 3;
+    run.warmupAccesses = quick ? 30'000 : 150'000;
+    run.measureAccesses = quick ? 120'000 : 600'000;
+
+    SweepSpec sweep("perf_fig8_sweep", /*baseSeed=*/41);
+    for (const WorkloadSpec &spec : specs) {
+        EnvironmentOptions baseOptions;
+        EnvironmentOptions asapOptions;
+        asapOptions.asapPlacement = true;
+        for (const bool colocation : {false, true}) {
+            run.colocation = colocation;
+            const std::string row =
+                spec.name + (colocation ? "/coloc" : "");
+            sweep.add(spec, baseOptions, makeMachineConfig(), run, row,
+                      "Baseline");
+            sweep.add(spec, asapOptions,
+                      makeMachineConfig(AsapConfig::p1()), run, row,
+                      "P1");
+            sweep.add(spec, asapOptions,
+                      makeMachineConfig(AsapConfig::p1p2()), run, row,
+                      "P1+P2");
+        }
+    }
+
+    const auto start = Clock::now();
+    const ResultSet results = SweepRunner().run(sweep);
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+
+    CaseTiming timing;
+    timing.name = "fig8_sweep";
+    timing.accesses = sweep.cells().size() *
+                      (run.warmupAccesses + run.measureAccesses);
+    timing.seconds = elapsed.count();
+    timing.accessesPerSec =
+        static_cast<double>(timing.accesses) / timing.seconds;
+    timing.avgWalkLatency =
+        results.cells().front().stats.avgWalkLatency();
+    return timing;
+}
+
 /** @return exit status: non-zero when a case regressed >20%. */
 int
 checkBaseline(const std::vector<CaseTiming> &timings,
@@ -189,23 +265,29 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
+    bool sweepMode = false;
     unsigned reps = 0;
     std::string baselinePath;
     std::string only;
+    std::string tracePath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (std::strcmp(argv[i], "--sweep") == 0) {
+            sweepMode = true;
         } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
             reps = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
             only = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            tracePath = argv[++i];
         } else if (std::strcmp(argv[i], "--baseline") == 0 &&
                    i + 1 < argc) {
             baselinePath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--reps N] [--only CASE] "
-                         "[--baseline FILE]\n",
+                         "[--baseline FILE] [--sweep] [--trace FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -227,11 +309,21 @@ main(int argc, char **argv)
     // the full walk path — the hot path this benchmark tracks. Note
     // scaledDown() is deliberately not used: it shrinks the window back
     // under the STLB reach and the walk path goes quiet.
-    WorkloadSpec spec = mcfSpec();
-    spec.name = "hotpath";
-    spec.residentPages = quick ? 75'000 : 150'000;
-    spec.windowPages = 8'000;
-    spec.churnOps = quick ? 10'000 : 40'000;
+    WorkloadSpec spec;
+    if (!tracePath.empty()) {
+        // Replay a recorded trace through the identical measurement
+        // loop. The regime (and hence absolute numbers) is whatever was
+        // recorded; the checked-in floor baseline only applies to the
+        // built-in generator workload.
+        const auto loaded = specByName("trace:" + tracePath);
+        spec = *loaded;
+    } else {
+        spec = mcfSpec();
+        spec.name = "hotpath";
+        spec.residentPages = quick ? 75'000 : 150'000;
+        spec.windowPages = 8'000;
+        spec.churnOps = quick ? 10'000 : 40'000;
+    }
 
     std::vector<CaseTiming> timings;
     for (const BenchCase &bc : benchCases()) {
@@ -267,6 +359,16 @@ main(int argc, char **argv)
                     timing.name.c_str(),
                     static_cast<unsigned long>(accesses), timing.seconds,
                     timing.accessesPerSec, timing.avgWalkLatency);
+    }
+
+    if (sweepMode && only.empty()) {
+        const CaseTiming timing = timeFig8Sweep(quick);
+        timings.push_back(timing);
+        std::printf("%-14s %9lu accesses  %8.3f s  %12.0f acc/s  "
+                    "(sweep wall-clock)\n",
+                    timing.name.c_str(),
+                    static_cast<unsigned long>(timing.accesses),
+                    timing.seconds, timing.accessesPerSec);
     }
 
     writeResultArtifact("BENCH_hotpath.json",

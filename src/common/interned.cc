@@ -1,0 +1,23 @@
+#include "common/interned.hh"
+
+#include <mutex>
+#include <unordered_set>
+
+namespace asap
+{
+
+const char *
+internName(std::string_view s)
+{
+    // Node-based set: element addresses (and thus c_str() pointers) are
+    // stable across rehashes. Leaks by design — pooled names must
+    // outlive every configuration struct, including statics.
+    static std::mutex mutex;
+    static std::unordered_set<std::string> &pool =
+        *new std::unordered_set<std::string>;
+
+    const std::lock_guard<std::mutex> lock(mutex);
+    return pool.emplace(s).first->c_str();
+}
+
+} // namespace asap

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Interned (pooled, immutable) name strings for hot configuration
+ * structs.
+ *
+ * MachineConfig used to carry five std::string names (three cache
+ * levels + two TLB levels); every sweep cell copies its MachineConfig
+ * several times on the way into SweepSpec and Machine construction, so
+ * at large cell counts those heap copies dominate Machine setup. An
+ * InternedName is one pointer into a process-lifetime pool: copying is
+ * free, equality is pointer comparison, and the pooled bytes outlive
+ * every user (the pool is never shrunk).
+ *
+ * Intended for configuration labels — a small, bounded set of distinct
+ * strings. Do not intern unbounded user data (the pool never frees).
+ */
+
+#ifndef ASAP_COMMON_INTERNED_HH
+#define ASAP_COMMON_INTERNED_HH
+
+#include <string>
+#include <string_view>
+
+namespace asap
+{
+
+/** Pool @p s and return its stable, NUL-terminated pooled copy.
+ *  Thread-safe; the pointer lives for the rest of the process. */
+const char *internName(std::string_view s);
+
+/** A pooled name: pointer-sized, trivially copyable, never dangling. */
+class InternedName
+{
+  public:
+    InternedName() : str_(internName({})) {}
+    InternedName(const char *s) : str_(internName(s)) {}
+    InternedName(const std::string &s) : str_(internName(s)) {}
+
+    const char *c_str() const { return str_; }
+    std::string_view view() const { return str_; }
+    bool empty() const { return str_[0] == '\0'; }
+
+    /** Pooled names with equal bytes share one pointer. */
+    bool operator==(const InternedName &other) const
+    { return str_ == other.str_; }
+    bool operator!=(const InternedName &other) const
+    { return str_ != other.str_; }
+
+  private:
+    const char *str_;
+};
+
+} // namespace asap
+
+#endif // ASAP_COMMON_INTERNED_HH

@@ -230,9 +230,10 @@ environmentKey(const WorkloadSpec &spec, const EnvironmentOptions &env)
     for (const unsigned level : env.asapLevels)
         levels += strprintf("%u.", level);
     return strprintf(
-        "%s|%g|%lu|%u|%u|%u|%g|%g|%g|%lu|%g|%u|%g|%lu|%lu|%lu|%lu|%u"
+        "%s|t%s|%g|%lu|%u|%u|%u|%g|%g|%g|%lu|%g|%u|%g|%lu|%lu|%lu|%lu|%u"
         "|v%d|a%d|h%d|p%u|q%u|L%s|hf%g|pp%g|s%lu",
-        spec.name.c_str(), spec.paperGb, spec.residentPages, spec.dataVmas,
+        spec.name.c_str(), spec.tracePath.c_str(), spec.paperGb,
+        spec.residentPages, spec.dataVmas,
         spec.smallVmas, spec.cyclesPerAccess, spec.seqFraction,
         spec.nearFraction, spec.windowFraction, spec.windowPages,
         spec.zipfTheta, spec.linesPerPage, spec.burstContinueProb,

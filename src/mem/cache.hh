@@ -19,8 +19,8 @@
 #define ASAP_MEM_CACHE_HH
 
 #include <cstdint>
-#include <string>
 
+#include "common/interned.hh"
 #include "common/set_assoc.hh"
 #include "common/types.hh"
 
@@ -30,7 +30,8 @@ namespace asap
 /** Geometry + latency of one cache level. */
 struct CacheConfig
 {
-    std::string name = "cache";
+    /** Interned: MachineConfig copies per sweep cell stay heap-free. */
+    InternedName name = "cache";
     std::uint64_t sizeBytes = 32_KiB;
     unsigned ways = 8;
     Cycles latency = 4;         ///< total load-to-use latency on a hit here

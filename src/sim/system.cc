@@ -95,6 +95,8 @@ std::uint64_t
 System::mmap(std::uint64_t bytes, const std::string &name,
              bool prefetchable)
 {
+    if (recorder_)
+        recorder_->onMmap(bytes, name, prefetchable);
     const std::uint64_t id = appSpace_->mmap(bytes, name, prefetchable);
     if (config_.virtualized && appAsap_ && prefetchable)
         backGuestAsapRegions(id);
@@ -160,6 +162,8 @@ System::backGuestAsapRegions(std::uint64_t vmaId)
 AddressSpace::TouchResult
 System::touch(VirtAddr va)
 {
+    if (recorder_)
+        recorder_->onTouch(va);
     auto result = appSpace_->touch(va);
     if (config_.virtualized) {
         // Back the data page and every guest PT node on the walk path so

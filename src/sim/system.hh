@@ -64,6 +64,25 @@ struct SystemConfig
 };
 
 /**
+ * Observer of the process-facing OS calls a Workload::setup makes.
+ *
+ * Used by the trace recorder (src/workloads/trace.hh): a workload's
+ * setup phase is fully described by its ordered mmap/touch sequence, so
+ * capturing these two calls is enough to rebuild an identical address
+ * space — VMA layout, demand-fault order, and hence buddy/ASAP physical
+ * placement — when a trace is replayed.
+ */
+class SetupRecorder
+{
+  public:
+    virtual ~SetupRecorder() = default;
+
+    virtual void onMmap(std::uint64_t bytes, const std::string &name,
+                        bool prefetchable) = 0;
+    virtual void onTouch(VirtAddr va) = 0;
+};
+
+/**
  * OS + hypervisor model. Implements HostBacking so the nested walker
  * can demand host translations of guest-physical addresses.
  */
@@ -137,6 +156,13 @@ class System : public HostBacking
     std::uint64_t machineMemBytes() const
     { return config_.machineMemBytes; }
 
+    /**
+     * Attach (or detach, with nullptr) a recorder observing mmap/touch.
+     * Only the setup phase of a workload should run while a recorder is
+     * attached; simulation-time fault servicing must not be recorded.
+     */
+    void setRecorder(SetupRecorder *recorder) { recorder_ = recorder; }
+
   private:
     void backGuestAsapRegions(std::uint64_t vmaId);
 
@@ -160,6 +186,8 @@ class System : public HostBacking
     /** Host base PA for each hypervisor-backed guest region, keyed by
      *  the region's guest frame base. */
     std::unordered_map<Pfn, PhysAddr> guestRegionHostBase_;
+
+    SetupRecorder *recorder_ = nullptr;
 };
 
 } // namespace asap

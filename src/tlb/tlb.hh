@@ -21,8 +21,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <string>
 
+#include "common/interned.hh"
 #include "common/logging.hh"
 #include "common/set_assoc.hh"
 #include "common/types.hh"
@@ -33,7 +33,8 @@ namespace asap
 
 struct TlbConfig
 {
-    std::string name = "TLB";
+    /** Interned: MachineConfig copies per sweep cell stay heap-free. */
+    InternedName name = "TLB";
     unsigned entries = 64;
     unsigned ways = 8;
     /** Leaf levels this TLB accepts (bit i set => level i+1 supported). */

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "workloads/trace.hh"
+
 namespace asap
 {
 
@@ -185,6 +187,12 @@ standardSuite()
 std::optional<WorkloadSpec>
 specByName(const std::string &name)
 {
+    // "trace:<path>": a recorded trace file as a drop-in workload. The
+    // spec's name and System sizing come from the trace header, so any
+    // sweep or figure benchmark runs from the trace transparently.
+    constexpr const char tracePrefix[] = "trace:";
+    if (name.rfind(tracePrefix, 0) == 0)
+        return traceSpec(name.substr(sizeof(tracePrefix) - 1));
     for (WorkloadSpec &spec : standardSuite()) {
         if (spec.name == name)
             return spec;
@@ -208,7 +216,10 @@ specsByNames(const std::vector<std::string> &names)
 WorkloadSpec
 scaledDown(WorkloadSpec spec, unsigned divisor)
 {
-    if (divisor <= 1)
+    // A recorded trace cannot be shrunk: its VMA layout and address
+    // stream are pinned, and rescaling the churn knobs would desync the
+    // replayed System from the one the trace was captured against.
+    if (divisor <= 1 || !spec.tracePath.empty())
         return spec;
     spec.residentPages = std::max<std::uint64_t>(
         spec.residentPages / divisor, 4'096);

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "sim/system.hh"
+#include "workloads/trace.hh"
 
 namespace asap
 {
@@ -189,6 +190,8 @@ SyntheticWorkload::generate(Rng &rng)
 std::unique_ptr<Workload>
 makeWorkload(const WorkloadSpec &spec)
 {
+    if (!spec.tracePath.empty())
+        return std::make_unique<TraceReplayWorkload>(spec.tracePath);
     return std::make_unique<SyntheticWorkload>(spec);
 }
 

@@ -73,6 +73,17 @@ struct WorkloadSpec
      *  L1-TLB hit rates high and page-walk rates realistic. */
     double burstContinueProb = 0.0;
 
+    /**
+     * Non-empty: this spec stands for a recorded trace file, not a
+     * generator. makeWorkload() then builds a TraceReplayWorkload and
+     * every generator knob above is ignored (the trace carries its own
+     * VMA layout and address stream); the System sizing below still
+     * applies and is filled from the trace header by traceSpec().
+     * Quick-mode scaling never applies to trace-backed specs — a
+     * recorded stream cannot be shrunk.
+     */
+    std::string tracePath;
+
     /** System sizing for this workload's scenarios. */
     std::uint64_t machineMemBytes = 8_GiB;
     std::uint64_t guestMemBytes = 4_GiB;

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Trace-driven workload backend: record any generator workload to a
+ * compact binary trace, then replay it through the existing Workload
+ * interface.
+ *
+ * The paper drives its simulator with DynamoRIO traces of real
+ * applications; the synthetic generators substitute for those traces
+ * structurally. This module closes the loop: a trace file captures both
+ * the *setup* of an application (its ordered mmap/touch sequence, which
+ * fully determines VMA layout and demand-fault order, and hence the
+ * buddy/ASAP physical placement on any System it is replayed into) and
+ * its *address stream* (the exact sequence Workload::nextBatch would
+ * generate for a given seed). Replaying a trace is therefore
+ * bit-identical to running its source generator live — RunStats and all
+ * — while decoupling the simulator from how the stream was produced.
+ * External traces (e.g. converted DynamoRIO output) use the same format.
+ *
+ * File format (ASAPTRC1, little-endian):
+ *
+ *   magic     "ASAPTRC1" (8 bytes)
+ *   u32       version (1)
+ *   u32       reserved (0)
+ *   str       workload name            (u32 length + bytes)
+ *   u32       computeCyclesPerAccess
+ *   f64       paperDatasetGb
+ *   u64       residentPages            (informational)
+ *   u64       machineMemBytes          \
+ *   u64       guestMemBytes             | System sizing so a trace
+ *   u64       churnOps                  | carries its own environment
+ *   u64       guestChurnOps             | requirements (see traceSpec)
+ *   u32       churnMaxOrder            /
+ *   u64       recordSeed               (seed the stream was drawn with)
+ *   u64       opBytes, then the setup op stream:
+ *               tag 0 (mmap) : varint bytes, u8 prefetchable,
+ *                              u32 nameLen + name
+ *               tag 1 (touch): zigzag-varint (firstVa - prevFirstVa),
+ *                              varint runLength; touches
+ *                              firstVa + k*pageSize, k in [0, runLength)
+ *   u64       accessCount
+ *   u64       streamBytes, then the address stream: one
+ *             zigzag-varint delta per access (previous VA starts at 0)
+ *
+ * Varints are LEB128; zigzag maps signed deltas to unsigned. Sequential
+ * prefaults collapse to one touch run and typical address deltas fit in
+ * 2-4 bytes, so traces stay a few bytes per access. The reader mmaps
+ * the file and decodes on the fly — replay is cheaper than generation.
+ */
+
+#ifndef ASAP_WORKLOADS_TRACE_HH
+#define ASAP_WORKLOADS_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hh"
+#include "workloads/workload.hh"
+
+namespace asap
+{
+
+class System;
+
+/** Decoded trace metadata (the fixed part of the header). */
+struct TraceHeader
+{
+    std::string name;
+    unsigned cyclesPerAccess = 0;
+    double paperGb = 0.0;
+    std::uint64_t residentPages = 0;
+    std::uint64_t machineMemBytes = 0;
+    std::uint64_t guestMemBytes = 0;
+    std::uint64_t churnOps = 0;
+    std::uint64_t guestChurnOps = 0;
+    unsigned churnMaxOrder = 0;
+    std::uint64_t recordSeed = 0;
+    std::uint64_t accessCount = 0;
+};
+
+/**
+ * A loaded (mmap-backed, read-only) trace file. Cheap to open per
+ * Environment; concurrent readers share the page cache.
+ */
+class TraceFile
+{
+  public:
+    /** Open and validate @p path; fatal() on a malformed file. */
+    explicit TraceFile(const std::string &path);
+    ~TraceFile();
+
+    TraceFile(const TraceFile &) = delete;
+    TraceFile &operator=(const TraceFile &) = delete;
+
+    const TraceHeader &header() const { return header_; }
+    const std::string &path() const { return path_; }
+
+    /** Raw setup-op bytes [begin, end). */
+    const std::uint8_t *opsBegin() const { return data_ + opsOffset_; }
+    const std::uint8_t *opsEnd() const
+    { return opsBegin() + opsBytes_; }
+
+    /** Raw address-stream bytes [begin, end). */
+    const std::uint8_t *streamBegin() const
+    { return data_ + streamOffset_; }
+    const std::uint8_t *streamEnd() const
+    { return streamBegin() + streamBytes_; }
+
+  private:
+    std::string path_;
+    const std::uint8_t *data_ = nullptr;
+    std::uint64_t size_ = 0;
+    bool mapped_ = false;       ///< mmap vs heap fallback
+    std::vector<std::uint8_t> fallback_;
+
+    TraceHeader header_;
+    std::uint64_t opsOffset_ = 0;
+    std::uint64_t opsBytes_ = 0;
+    std::uint64_t streamOffset_ = 0;
+    std::uint64_t streamBytes_ = 0;
+};
+
+/**
+ * Replays a recorded trace through the Workload interface.
+ *
+ * setup() re-executes the recorded mmap/touch sequence; next()/
+ * nextBatch() decode the recorded address stream, wrapping around when
+ * a run needs more accesses than were recorded. The Rng arguments are
+ * deliberately unused: a trace pins the address stream, so RunConfig
+ * seeds no longer perturb it (they still drive the co-runner).
+ */
+class TraceReplayWorkload : public Workload
+{
+  public:
+    explicit TraceReplayWorkload(const std::string &path)
+        : trace_(std::make_unique<TraceFile>(path))
+    {
+        rewind();
+    }
+
+    const std::string &name() const override
+    { return trace_->header().name; }
+
+    void setup(System &system) override;
+
+    void reset(Rng &rng) override
+    {
+        (void)rng;
+        rewind();
+    }
+
+    VirtAddr
+    next(Rng &rng) override
+    {
+        (void)rng;
+        return decodeNext();
+    }
+
+    void
+    nextBatch(Rng &rng, VirtAddr *out, std::size_t count) override
+    {
+        (void)rng;
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = decodeNext();
+    }
+
+    unsigned computeCyclesPerAccess() const override
+    { return trace_->header().cyclesPerAccess; }
+
+    double paperDatasetGb() const override
+    { return trace_->header().paperGb; }
+
+    const TraceFile &trace() const { return *trace_; }
+
+  private:
+    void rewind();
+    VirtAddr decodeNext();
+
+    std::unique_ptr<TraceFile> trace_;
+
+    // Stream cursor state.
+    const std::uint8_t *cursor_ = nullptr;
+    VirtAddr prevVa_ = 0;
+    std::uint64_t remaining_ = 0;
+};
+
+/**
+ * Record @p spec's workload into @p path: the setup sequence is
+ * captured from a scratch native System, then @p accesses addresses are
+ * drawn exactly the way Simulator::run draws them (reset, then
+ * sequential generation from an Rng seeded with @p seed).
+ *
+ * The recorded stream — and the physical placement its replayed setup
+ * produces — is independent of EnvironmentOptions, so one trace serves
+ * every scenario (native/virt, baseline/ASAP, ...) of its workload.
+ */
+void recordTrace(const WorkloadSpec &spec, const std::string &path,
+                 std::uint64_t seed, std::uint64_t accesses);
+
+/**
+ * A WorkloadSpec describing a recorded trace: name and System sizing
+ * come from the trace header, tracePath points at @p path, and
+ * makeWorkload() yields a TraceReplayWorkload. This is what
+ * specByName("trace:<path>") returns, making traces drop-in workloads
+ * for every sweep and figure benchmark.
+ */
+WorkloadSpec traceSpec(const std::string &path);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_TRACE_HH

@@ -5,6 +5,7 @@
  * the headline ASAP behaviours end-to-end (small scale).
  */
 
+#include <cstdio>
 #include <map>
 
 #include <gtest/gtest.h>
@@ -16,6 +17,7 @@
 #include "sim/system.hh"
 #include "workloads/suite.hh"
 #include "workloads/synthetic.hh"
+#include "workloads/trace.hh"
 
 using namespace asap;
 
@@ -467,6 +469,62 @@ TEST(Golden, RunStatsBitIdenticalAcrossConfigs)
         EXPECT_EQ(got.appIssued, want.appIssued);
         EXPECT_EQ(got.hostIssued, want.hostIssued);
     }
+}
+
+/**
+ * Golden trace-replay configurations: the pinned workload is recorded
+ * to a trace once, then two structurally distinct scenarios — a native
+ * ASAP machine and a virtualized 2D walk — run from the trace and must
+ * reproduce the live generator's RunStats bit-for-bit (the live side
+ * being itself pinned by RunStatsBitIdenticalAcrossConfigs above). One
+ * recording serves both environments: the trace captures the workload,
+ * not the scenario.
+ */
+TEST(Golden, TraceReplayBitIdentical)
+{
+    const std::string path = "golden_trace.asaptrace";
+    const RunConfig probe = golden::goldenRunConfig(false);
+    recordTrace(golden::goldenSpec(), path, probe.seed,
+                probe.warmupAccesses + probe.measureAccesses);
+
+    for (const golden::Scenario &scenario : golden::goldenScenarios()) {
+        if (scenario.name != "native_asap" && scenario.name != "virt_2d")
+            continue;
+        SCOPED_TRACE(scenario.name);
+        const golden::Expect live =
+            golden::flatten(golden::runScenario(scenario));
+
+        System system(makeSystemConfig(golden::goldenSpec(),
+                                       scenario.env));
+        TraceReplayWorkload replay(path);
+        replay.setup(system);
+        Machine machine(system, scenario.machine);
+        Simulator simulator(system, machine, replay);
+        const golden::Expect got = golden::flatten(
+            simulator.run(golden::goldenRunConfig(scenario.colocation)));
+
+        EXPECT_EQ(got.tlbL1Hits, live.tlbL1Hits);
+        EXPECT_EQ(got.tlbL2Hits, live.tlbL2Hits);
+        EXPECT_EQ(got.tlbMisses, live.tlbMisses);
+        EXPECT_EQ(got.faults, live.faults);
+        EXPECT_EQ(got.walkCount, live.walkCount);
+        EXPECT_EQ(got.walkSum, live.walkSum);
+        EXPECT_EQ(got.walkMin, live.walkMin);
+        EXPECT_EQ(got.walkMax, live.walkMax);
+        EXPECT_EQ(got.totalCycles, live.totalCycles);
+        EXPECT_EQ(got.walkCycles, live.walkCycles);
+        EXPECT_EQ(got.dataCycles, live.dataCycles);
+        EXPECT_EQ(got.computeCycles, live.computeCycles);
+        EXPECT_EQ(got.levelTotal, live.levelTotal);
+        EXPECT_EQ(got.levelPwc, live.levelPwc);
+        EXPECT_EQ(got.levelDram, live.levelDram);
+        EXPECT_EQ(got.appTriggers, live.appTriggers);
+        EXPECT_EQ(got.appRangeHits, live.appRangeHits);
+        EXPECT_EQ(got.appAttempted, live.appAttempted);
+        EXPECT_EQ(got.appIssued, live.appIssued);
+        EXPECT_EQ(got.hostIssued, live.hostIssued);
+    }
+    std::remove(path.c_str());
 }
 
 /** Parameterized: every ASAP config yields identical translations to
