@@ -47,7 +47,9 @@
 #include "exp/result_table.hh"
 #include "exp/sweep.hh"
 #include "sim/environment.hh"
+#include "trace/convert.hh"
 #include "workloads/suite.hh"
+#include "workloads/trace.hh"
 
 using namespace asap;
 using namespace asap::exp;
@@ -165,8 +167,8 @@ timeFig8Sweep(bool quick)
 
     RunConfig run;
     run.corunnerPerAccess = 3;
-    run.warmupAccesses = quick ? 30'000 : 150'000;
-    run.measureAccesses = quick ? 120'000 : 600'000;
+    run.warmupAccesses = quick ? quickWarmupAccesses : 150'000;
+    run.measureAccesses = quick ? quickMeasureAccesses : 600'000;
 
     SweepSpec sweep("perf_fig8_sweep", /*baseSeed=*/41);
     for (const WorkloadSpec &spec : specs) {
@@ -202,6 +204,76 @@ timeFig8Sweep(bool quick)
     timing.avgWalkLatency =
         results.cells().front().stats.avgWalkLatency();
     return timing;
+}
+
+/**
+ * Trace-decode throughput: how fast TraceCursor turns container bytes
+ * back into addresses, for both the monolithic v1 stream and the
+ * chunked/compressed v2 container. Decode speed bounds every
+ * trace-driven experiment, and v2 must not decode slower than v1 — the
+ * acceptance bar for the chunked format (chunk re-basing and inflate
+ * are amortized over chunkAccesses addresses).
+ */
+std::vector<CaseTiming>
+timeTraceDecode(bool quick, unsigned reps)
+{
+    const std::string v1Path = "perf_hotpath_decode.trc1";
+    const std::string v2Path = "perf_hotpath_decode.trc2";
+
+    // A small structured-locality stream records fast and is
+    // representative of the delta mix; decode throughput does not
+    // depend on the footprint.
+    WorkloadSpec spec = mcfSpec();
+    spec.name = "decode";
+    spec.residentPages = 20'000;
+    spec.windowPages = 2'000;
+    spec.churnOps = 5'000;
+    const std::uint64_t recorded = quick ? 150'000 : 600'000;
+    recordTrace(spec, v1Path, /*seed=*/7, recorded);
+    convertToV2(v1Path, v2Path, Trc2Options{});
+
+    // Decode several laps of the stream (the cursor wraps), summing the
+    // addresses so the loop cannot be optimized away. A multiple of the
+    // batch size, so the drain loop below never over-subtracts.
+    const std::uint64_t decodes = 1024 * (quick ? 3'000 : 30'000);
+    std::vector<CaseTiming> timings;
+    for (const std::string &path : {v1Path, v2Path}) {
+        TraceReplayWorkload replay(path);
+        Rng unused(1);
+        VirtAddr batch[1024];
+        std::uint64_t checksum = 0;
+
+        CaseTiming timing;
+        timing.name = path == v1Path ? "trace_decode_v1"
+                                     : "trace_decode_v2";
+        timing.accesses = decodes;
+        timing.seconds = 1e300;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            replay.reset(unused);
+            const double start = cpuSeconds();
+            for (std::uint64_t left = decodes; left > 0; left -= 1024) {
+                replay.nextBatch(unused, batch, 1024);
+                checksum += batch[0] + batch[1023];
+            }
+            const double secs = cpuSeconds() - start;
+            if (secs < timing.seconds)
+                timing.seconds = secs;
+        }
+        timing.accessesPerSec =
+            static_cast<double>(decodes) / timing.seconds;
+        timings.push_back(timing);
+        // Printing the checksum keeps the decode loop observable.
+        std::printf("%-14s %9lu decodes   %8.3f s  %12.0f acc/s  "
+                    "(sum %016llx)\n",
+                    timing.name.c_str(),
+                    static_cast<unsigned long>(decodes), timing.seconds,
+                    timing.accessesPerSec,
+                    static_cast<unsigned long long>(checksum));
+    }
+
+    std::remove(v1Path.c_str());
+    std::remove(v2Path.c_str());
+    return timings;
 }
 
 /** @return exit status: non-zero when a case regressed >20%. */
@@ -332,8 +404,8 @@ main(int argc, char **argv)
         Environment env(spec, bc.env);
         RunConfig run = defaultRunConfig(bc.colocation);
         if (quick) {
-            run.warmupAccesses = 30'000;
-            run.measureAccesses = 120'000;
+            run.warmupAccesses = quickWarmupAccesses;
+            run.measureAccesses = quickMeasureAccesses;
         }
         const std::uint64_t accesses =
             run.warmupAccesses + run.measureAccesses;
@@ -359,6 +431,16 @@ main(int argc, char **argv)
                     timing.name.c_str(),
                     static_cast<unsigned long>(accesses), timing.seconds,
                     timing.accessesPerSec, timing.avgWalkLatency);
+    }
+
+    // Trace-decode throughput rides along unless a single unrelated
+    // case was requested (it has no baseline entry, so it is tracked,
+    // not gated).
+    if (only.empty() || only.rfind("trace_decode", 0) == 0) {
+        for (CaseTiming &timing : timeTraceDecode(quick, reps)) {
+            if (only.empty() || timing.name == only)
+                timings.push_back(timing);
+        }
     }
 
     if (sweepMode && only.empty()) {

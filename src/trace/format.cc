@@ -1,0 +1,112 @@
+#include "trace/format.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace asap
+{
+
+void
+put32(std::string &out, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+put64(std::string &out, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    fatal_if(s.size() > maxTraceStringLen,
+             "trace string too long (%zu bytes)", s.size());
+    put32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+std::uint64_t
+doubleToBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+MappedFile::MappedFile(const std::string &path) : path_(path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    fatal_if(fd < 0, "cannot open %s", path.c_str());
+    struct stat st;
+    fatal_if(::fstat(fd, &st) != 0, "cannot stat %s", path.c_str());
+    size_ = static_cast<std::uint64_t>(st.st_size);
+
+    if (size_ == 0) {
+        ::close(fd);
+        data_ = fallback_.data();
+        return;
+    }
+
+    void *map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+        data_ = static_cast<const std::uint8_t *>(map);
+        mapped_ = true;
+    } else {
+        fallback_.resize(size_);
+        std::uint64_t got = 0;
+        while (got < size_) {
+            const ssize_t n =
+                ::pread(fd, fallback_.data() + got, size_ - got, got);
+            fatal_if(n <= 0, "cannot read %s", path.c_str());
+            got += static_cast<std::uint64_t>(n);
+        }
+        data_ = fallback_.data();
+    }
+    ::close(fd);
+}
+
+MappedFile::~MappedFile()
+{
+    if (mapped_)
+        ::munmap(const_cast<std::uint8_t *>(data_), size_);
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &bytes)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    fatal_if(!file, "cannot write %s", path.c_str());
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), file);
+    const bool ok = written == bytes.size() && std::fclose(file) == 0;
+    fatal_if(!ok, "short write to %s", path.c_str());
+}
+
+} // namespace asap

@@ -1,0 +1,60 @@
+#include "trace/importer.hh"
+
+#include <algorithm>
+
+namespace asap
+{
+
+namespace
+{
+
+std::vector<const TraceImporter *> &
+registry()
+{
+    // Built-ins are referenced explicitly (no self-registering statics:
+    // a static library would drop the unreferenced object files).
+    // Detection order runs strictest sniff first: every 16-byte
+    // drmemtrace file is also a whole number of 64-byte ChampSim
+    // records, so ChampSim's looser check must come last.
+    static std::vector<const TraceImporter *> importers = {
+        &textImporter(), &drmemtraceImporter(), &champsimImporter()};
+    return importers;
+}
+
+} // namespace
+
+const std::vector<const TraceImporter *> &
+traceImporters()
+{
+    return registry();
+}
+
+const TraceImporter *
+importerByName(const std::string &name)
+{
+    for (const TraceImporter *importer : registry()) {
+        if (name == importer->formatName())
+            return importer;
+    }
+    return nullptr;
+}
+
+const TraceImporter *
+detectImporter(const std::uint8_t *data, std::size_t size)
+{
+    for (const TraceImporter *importer : registry()) {
+        if (importer->sniff(data, size))
+            return importer;
+    }
+    return nullptr;
+}
+
+void
+registerImporter(const TraceImporter *importer)
+{
+    if (std::find(registry().begin(), registry().end(), importer) ==
+        registry().end())
+        registry().push_back(importer);
+}
+
+} // namespace asap

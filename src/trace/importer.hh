@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Importer framework for externally captured memory traces.
+ *
+ * The paper's evaluation is driven by DynamoRIO traces of real server
+ * workloads; this layer turns such captures (and ChampSim or plain-text
+ * ones) into ASAPTRC2 files that replay through TraceReplayWorkload
+ * like any recorded trace.
+ *
+ * External traces carry no setup stream — just memory references — so
+ * conversion (src/trace/convert.hh) infers one: the observed address
+ * footprint is coalesced into VMAs (touched pages with small gaps merge
+ * into one region), a scratch System mmaps those VMAs and prefaults
+ * every touched page under a SetupCapture, and the reference stream is
+ * rewritten region-by-region into the VMA bases the System assigned
+ * (page offsets preserved). Since VMA placement is deterministic, the
+ * replayed setup reconstructs exactly the address space the rewritten
+ * stream was expressed in.
+ *
+ * A TraceImporter only parses: it walks the raw capture bytes and emits
+ * TraceRecords in program order. Registration is by name; sniff() lets
+ * tools auto-detect a format from the first bytes.
+ */
+
+#ifndef ASAP_TRACE_IMPORTER_HH
+#define ASAP_TRACE_IMPORTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace asap
+{
+
+/** One memory reference of an external capture. */
+struct TraceRecord
+{
+    VirtAddr va = 0;
+    std::uint32_t size = 0;   ///< bytes accessed (informational)
+    bool write = false;
+};
+
+/** Receives parsed records in program order. */
+class RecordSink
+{
+  public:
+    virtual ~RecordSink() = default;
+    virtual void record(const TraceRecord &record) = 0;
+};
+
+class TraceImporter
+{
+  public:
+    virtual ~TraceImporter() = default;
+
+    /** Registry name ("text", "champsim", "drmemtrace"). */
+    virtual const char *formatName() const = 0;
+
+    /** One-line format description for CLI help. */
+    virtual const char *description() const = 0;
+
+    /**
+     * Cheap look at the first bytes: could this file be ours? Used for
+     * auto-detection only — binary formats overlap, so an explicit
+     * format name always wins.
+     */
+    virtual bool sniff(const std::uint8_t *data,
+                       std::size_t size) const = 0;
+
+    /** Parse the whole capture, emitting records in order. fatal() on
+     *  malformed input, naming @p path. */
+    virtual void parse(const std::uint8_t *data, std::size_t size,
+                       const char *path, RecordSink &sink) const = 0;
+};
+
+/** The built-in importers (plus any registered at runtime). */
+const std::vector<const TraceImporter *> &traceImporters();
+
+/** Importer by registry name; nullptr when unknown. */
+const TraceImporter *importerByName(const std::string &name);
+
+/** First importer whose sniff() accepts the bytes; nullptr if none. */
+const TraceImporter *detectImporter(const std::uint8_t *data,
+                                    std::size_t size);
+
+/** Register an additional importer (not owned; must outlive use). */
+void registerImporter(const TraceImporter *importer);
+
+/** The three built-in parsers (defined in importer_*.cc). */
+const TraceImporter &textImporter();
+const TraceImporter &champsimImporter();
+const TraceImporter &drmemtraceImporter();
+
+} // namespace asap
+
+#endif // ASAP_TRACE_IMPORTER_HH

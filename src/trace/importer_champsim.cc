@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ChampSim-style fixed-record binary importer.
+ *
+ * ChampSim instruction traces are a flat array of 64-byte little-endian
+ * records (ChampSim's input_instr):
+ *
+ *   u64 ip;                  // instruction pointer
+ *   u8  is_branch, branch_taken;
+ *   u8  destination_registers[2];
+ *   u8  source_registers[4];
+ *   u64 destination_memory[2];   // store addresses (0 = unused slot)
+ *   u64 source_memory[4];        // load addresses  (0 = unused slot)
+ *
+ * Only the memory slots matter here: each non-zero source becomes a
+ * read and each non-zero destination a write, sources first (loads
+ * execute before the instruction's stores). Instructions without
+ * memory operands contribute nothing. ChampSim traces are usually
+ * xz/gz-compressed on disk; decompress before importing.
+ */
+
+#include "trace/importer.hh"
+
+#include "common/logging.hh"
+#include "trace/format.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+constexpr std::size_t recordBytes = 64;
+constexpr std::size_t destMemOffset = 16;   // 8 + 2 + 2 + 4
+constexpr std::size_t srcMemOffset = 32;
+
+class ChampSimImporter : public TraceImporter
+{
+  public:
+    const char *formatName() const override { return "champsim"; }
+
+    const char *
+    description() const override
+    {
+        return "ChampSim input_instr records (64B; loads/stores from "
+               "the memory slots)";
+    }
+
+    bool
+    sniff(const std::uint8_t *data, std::size_t size) const override
+    {
+        if (size == 0 || size % recordBytes != 0)
+            return false;
+        // Plausibility of the first record: a canonical user-space ip
+        // and boolean branch flags.
+        const std::uint64_t ip = loadLe64(data);
+        return ip != 0 && ip < (std::uint64_t{1} << 48) &&
+               data[8] <= 1 && data[9] <= 1;
+    }
+
+    void
+    parse(const std::uint8_t *data, std::size_t size, const char *path,
+          RecordSink &sink) const override
+    {
+        fatal_if(size == 0 || size % recordBytes != 0,
+                 "%s: not a whole number of 64-byte ChampSim records "
+                 "(%zu bytes)",
+                 path, size);
+        for (std::size_t at = 0; at < size; at += recordBytes) {
+            const std::uint8_t *rec = data + at;
+            for (unsigned i = 0; i < 4; ++i) {
+                const std::uint64_t va =
+                    loadLe64(rec + srcMemOffset + 8 * i);
+                if (va == 0)
+                    continue;
+                TraceRecord record;
+                record.va = va;
+                record.size = 8;
+                record.write = false;
+                sink.record(record);
+            }
+            for (unsigned i = 0; i < 2; ++i) {
+                const std::uint64_t va =
+                    loadLe64(rec + destMemOffset + 8 * i);
+                if (va == 0)
+                    continue;
+                TraceRecord record;
+                record.va = va;
+                record.size = 8;
+                record.write = true;
+                sink.record(record);
+            }
+        }
+    }
+};
+
+} // namespace
+
+const TraceImporter &
+champsimImporter()
+{
+    static const ChampSimImporter importer;
+    return importer;
+}
+
+} // namespace asap

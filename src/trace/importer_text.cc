@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Line-oriented text importer: one memory reference per line,
+ *
+ *   va[,size[,r|w]]
+ *
+ * with va and size in decimal or 0x-hex. Blank lines and lines starting
+ * with '#' are skipped; size defaults to 8 bytes and the direction to a
+ * read. The format is meant for hand-written fixtures and for piping
+ * out of ad-hoc instrumentation (a printf per access is enough).
+ */
+
+#include "trace/importer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+class TextImporter : public TraceImporter
+{
+  public:
+    const char *formatName() const override { return "text"; }
+
+    const char *
+    description() const override
+    {
+        return "one 'va[,size[,r|w]]' line per access "
+               "(decimal or 0x-hex, # comments)";
+    }
+
+    bool
+    sniff(const std::uint8_t *data, std::size_t size) const override
+    {
+        // Printable ASCII with at least one digit in the first bytes.
+        const std::size_t probe = size < 256 ? size : 256;
+        if (probe == 0)
+            return false;
+        bool digit = false;
+        for (std::size_t i = 0; i < probe; ++i) {
+            const std::uint8_t c = data[i];
+            if (c != '\n' && c != '\r' && c != '\t' &&
+                (c < 0x20 || c > 0x7e))
+                return false;
+            if (c >= '0' && c <= '9')
+                digit = true;
+        }
+        return digit;
+    }
+
+    void
+    parse(const std::uint8_t *data, std::size_t size, const char *path,
+          RecordSink &sink) const override
+    {
+        const char *cursor = reinterpret_cast<const char *>(data);
+        const char *end = cursor + size;
+        std::uint64_t lineNo = 0;
+        while (cursor < end) {
+            ++lineNo;
+            const char *eol = cursor;
+            while (eol < end && *eol != '\n')
+                ++eol;
+            parseLine(cursor, eol, path, lineNo, sink);
+            cursor = eol < end ? eol + 1 : end;
+        }
+    }
+
+  private:
+    static void
+    parseLine(const char *begin, const char *end, const char *path,
+              std::uint64_t lineNo, RecordSink &sink)
+    {
+        while (begin < end && std::isspace(static_cast<unsigned char>(
+                                  *begin)))
+            ++begin;
+        while (end > begin && std::isspace(static_cast<unsigned char>(
+                                  end[-1])))
+            --end;
+        if (begin == end || *begin == '#')
+            return;
+
+        // strtoull needs NUL termination; lines are short, copy them.
+        const std::string line(begin, end);
+        const char *at = line.c_str();
+        char *after = nullptr;
+
+        TraceRecord record;
+        record.size = 8;
+        record.va = std::strtoull(at, &after, 0);
+        fatal_if(after == at, "%s:%lu: expected an address", path,
+                 static_cast<unsigned long>(lineNo));
+        at = after;
+
+        if (*at == ',') {
+            ++at;
+            record.size =
+                static_cast<std::uint32_t>(std::strtoull(at, &after, 0));
+            fatal_if(after == at || record.size == 0,
+                     "%s:%lu: bad access size", path,
+                     static_cast<unsigned long>(lineNo));
+            at = after;
+        }
+        if (*at == ',') {
+            ++at;
+            fatal_if(*at != 'r' && *at != 'w',
+                     "%s:%lu: direction must be r or w", path,
+                     static_cast<unsigned long>(lineNo));
+            record.write = *at == 'w';
+            ++at;
+        }
+        fatal_if(*at != '\0', "%s:%lu: trailing garbage '%s'", path,
+                 static_cast<unsigned long>(lineNo), at);
+        sink.record(record);
+    }
+};
+
+} // namespace
+
+const TraceImporter &
+textImporter()
+{
+    static const TextImporter importer;
+    return importer;
+}
+
+} // namespace asap

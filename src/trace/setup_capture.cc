@@ -1,0 +1,45 @@
+#include "trace/setup_capture.hh"
+
+namespace asap
+{
+
+void
+replaySetupOps(System &system, const std::uint8_t *cursor,
+               const std::uint8_t *end, const char *path)
+{
+    VirtAddr prevStart = 0;
+    while (cursor < end) {
+        const std::uint8_t tag = *cursor++;
+        if (tag == opMmap) {
+            const std::uint64_t bytes = decodeVarint(cursor, end, path);
+            fatal_if(end - cursor < 5, "%s: truncated mmap op", path);
+            const bool prefetchable = *cursor++ != 0;
+            std::uint32_t nameLen = 0;
+            for (unsigned i = 0; i < 4; ++i)
+                nameLen |= static_cast<std::uint32_t>(*cursor++)
+                           << (8 * i);
+            fatal_if(nameLen > maxTraceStringLen ||
+                         static_cast<std::uint64_t>(end - cursor) <
+                             nameLen,
+                     "%s: implausible mmap name length %u", path,
+                     nameLen);
+            const std::string name(
+                reinterpret_cast<const char *>(cursor), nameLen);
+            cursor += nameLen;
+            system.mmap(bytes, name, prefetchable);
+        } else if (tag == opTouchRun) {
+            const VirtAddr start = static_cast<VirtAddr>(
+                static_cast<std::int64_t>(prevStart) +
+                unzigzag(decodeVarint(cursor, end, path)));
+            const std::uint64_t length = decodeVarint(cursor, end, path);
+            for (std::uint64_t k = 0; k < length; ++k)
+                system.touch(start + k * pageSize);
+            prevStart = start;
+        } else {
+            fatal("%s: unknown setup op %u", path,
+                  static_cast<unsigned>(tag));
+        }
+    }
+}
+
+} // namespace asap

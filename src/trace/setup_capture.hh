@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Serializes the mmap/touch sequence of one Workload::setup() run (or of
+ * an importer's synthesized setup) into the setup-op byte stream shared
+ * by both trace container versions:
+ *
+ *   tag 0 (mmap) : varint bytes, u8 prefetchable, u32 nameLen + name
+ *   tag 1 (touch): zigzag-varint (firstVa - prevFirstVa),
+ *                  varint runLength; touches firstVa + k*pageSize,
+ *                  k in [0, runLength)
+ *
+ * Page-stride touch sequences coalesce into runs, so a sequentially
+ * prefaulted VMA costs a handful of bytes.
+ */
+
+#ifndef ASAP_TRACE_SETUP_CAPTURE_HH
+#define ASAP_TRACE_SETUP_CAPTURE_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "sim/system.hh"
+#include "trace/format.hh"
+
+namespace asap
+{
+
+class SetupCapture : public SetupRecorder
+{
+  public:
+    void
+    onMmap(std::uint64_t bytes, const std::string &name,
+           bool prefetchable) override
+    {
+        flushRun();
+        ops_.push_back(static_cast<char>(opMmap));
+        putVarint(ops_, bytes);
+        ops_.push_back(prefetchable ? 1 : 0);
+        putString(ops_, name);
+    }
+
+    void
+    onTouch(VirtAddr va) override
+    {
+        if (runLength_ > 0 && va == runStart_ + runLength_ * pageSize) {
+            ++runLength_;
+            return;
+        }
+        flushRun();
+        runStart_ = va;
+        runLength_ = 1;
+    }
+
+    /** The finished op stream (flushes any pending touch run). */
+    std::string
+    take()
+    {
+        flushRun();
+        return std::move(ops_);
+    }
+
+  private:
+    void
+    flushRun()
+    {
+        if (runLength_ == 0)
+            return;
+        ops_.push_back(static_cast<char>(opTouchRun));
+        putVarint(ops_, zigzag(static_cast<std::int64_t>(runStart_) -
+                               static_cast<std::int64_t>(prevStart_)));
+        putVarint(ops_, runLength_);
+        prevStart_ = runStart_;
+        runLength_ = 0;
+    }
+
+    std::string ops_;
+    VirtAddr runStart_ = 0;
+    std::uint64_t runLength_ = 0;
+    VirtAddr prevStart_ = 0;
+};
+
+/**
+ * Replay a captured setup-op stream into @p system (the inverse of
+ * SetupCapture). Shared by TraceReplayWorkload::setup and by tooling
+ * that inspects op streams; fatal() on malformed bytes.
+ */
+void replaySetupOps(System &system, const std::uint8_t *cursor,
+                    const std::uint8_t *end, const char *path);
+
+} // namespace asap
+
+#endif // ASAP_TRACE_SETUP_CAPTURE_HH

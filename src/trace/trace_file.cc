@@ -1,0 +1,324 @@
+#include "trace/trace_file.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#ifdef ASAP_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace asap
+{
+
+namespace
+{
+
+/** Bytes of one chunk-index entry (u64 + 3*u32 + u8 + u64). */
+constexpr std::uint64_t indexEntryBytes = 8 + 4 + 4 + 4 + 1 + 8;
+/** Bytes of the fixed footer (indexOffset, chunkCount, end magic). */
+constexpr std::uint64_t footerBytes = 8 + 8 + 8;
+
+/** The metadata block common to both container versions. */
+void
+readMetadata(ByteReader &in, TraceHeader &header)
+{
+    header.name = in.getString();
+    header.cyclesPerAccess = in.get32();
+    header.paperGb = bitsToDouble(in.get64());
+    header.residentPages = in.get64();
+    header.machineMemBytes = in.get64();
+    header.guestMemBytes = in.get64();
+    header.churnOps = in.get64();
+    header.guestChurnOps = in.get64();
+    header.churnMaxOrder = in.get32();
+    header.recordSeed = in.get64();
+}
+
+} // namespace
+
+bool
+traceCompressionAvailable()
+{
+#ifdef ASAP_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+TraceFile::TraceFile(const std::string &path) : file_(path)
+{
+    fatal_if(file_.size() < sizeof(trc1Magic) + 8, "trace %s too small",
+             path.c_str());
+
+    ByteReader in(file_.data(), file_.size(), file_.path());
+    const std::uint8_t *magic = in.skip(sizeof(trc1Magic));
+    const std::uint32_t version = in.get32();
+    in.get32();   // reserved
+
+    if (std::memcmp(magic, trc1Magic, sizeof(trc1Magic)) == 0) {
+        fatal_if(version != trc1Version,
+                 "%s: unsupported ASAPTRC1 version %u", path.c_str(),
+                 version);
+        version_ = trc1Version;
+        loadV1(in);
+    } else if (std::memcmp(magic, trc2Magic, sizeof(trc2Magic)) == 0) {
+        fatal_if(version != trc2Version,
+                 "%s: unsupported ASAPTRC2 version %u", path.c_str(),
+                 version);
+        version_ = trc2Version;
+        loadV2(in);
+    } else {
+        fatal("%s is not an ASAP trace", path.c_str());
+    }
+
+    fatal_if(header_.accessCount == 0, "%s: empty address stream",
+             path.c_str());
+    fatal_if(header_.representedAccesses < header_.accessCount,
+             "%s: represented accesses %lu below stored %lu",
+             path.c_str(),
+             static_cast<unsigned long>(header_.representedAccesses),
+             static_cast<unsigned long>(header_.accessCount));
+}
+
+void
+TraceFile::loadV1(ByteReader &in)
+{
+    readMetadata(in, header_);
+
+    opsBytes_ = in.get64();
+    opsOffset_ = in.offset();
+    in.skip(opsBytes_);
+
+    header_.accessCount = in.get64();
+    streamBytes_ = in.get64();
+    streamOffset_ = in.offset();
+    in.skip(streamBytes_);
+
+    // Every delta costs at least one varint byte, so a stream shorter
+    // than the access count cannot be decoded fully — reject up front
+    // instead of hitting "truncated varint" mid-replay.
+    fatal_if(streamBytes_ < header_.accessCount,
+             "%s: stream (%lu bytes) shorter than access count %lu",
+             path().c_str(), static_cast<unsigned long>(streamBytes_),
+             static_cast<unsigned long>(header_.accessCount));
+
+    header_.representedAccesses = header_.accessCount;
+    header_.sampleInterval = 1;
+    header_.chunkAccesses = 0;
+}
+
+void
+TraceFile::loadV2(ByteReader &in)
+{
+    const char *p = path().c_str();
+
+    readMetadata(in, header_);
+
+    opsBytes_ = in.get64();
+    opsOffset_ = in.offset();
+    in.skip(opsBytes_);
+
+    header_.representedAccesses = in.get64();
+    header_.sampleInterval = in.get32();
+    header_.chunkAccesses = in.get32();
+    fatal_if(header_.sampleInterval == 0, "%s: zero sample interval", p);
+    fatal_if(header_.chunkAccesses == 0, "%s: zero chunk size", p);
+
+    const std::uint64_t dataOffset = in.offset();
+
+    // The index is located through the fixed footer at EOF.
+    fatal_if(file_.size() < dataOffset + footerBytes,
+             "%s: truncated trace (no footer)", p);
+    ByteReader footer(file_.data() + file_.size() - footerBytes,
+                      footerBytes, file_.path());
+    const std::uint64_t indexOffset = footer.get64();
+    const std::uint64_t chunkCount = footer.get64();
+    const std::uint8_t *endMagic = footer.skip(sizeof(trc2EndMagic));
+    fatal_if(std::memcmp(endMagic, trc2EndMagic,
+                         sizeof(trc2EndMagic)) != 0,
+             "%s: bad trace footer", p);
+
+    const std::uint64_t indexEnd = file_.size() - footerBytes;
+    fatal_if(indexOffset < dataOffset || indexOffset > indexEnd,
+             "%s: chunk index offset out of range", p);
+    const std::uint64_t indexBytes = indexEnd - indexOffset;
+    fatal_if(indexBytes != sizeof(trc2IndexMagic) +
+                               chunkCount * indexEntryBytes,
+             "%s: chunk index size mismatch (%lu chunks)", p,
+             static_cast<unsigned long>(chunkCount));
+    fatal_if(chunkCount == 0, "%s: no chunks", p);
+
+    ByteReader index(file_.data() + indexOffset, indexBytes,
+                     file_.path());
+    const std::uint8_t *indexMagic = index.skip(sizeof(trc2IndexMagic));
+    fatal_if(std::memcmp(indexMagic, trc2IndexMagic,
+                         sizeof(trc2IndexMagic)) != 0,
+             "%s: bad chunk index magic", p);
+
+    chunks_.reserve(chunkCount);
+    std::uint64_t expectedOffset = dataOffset;
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < chunkCount; ++i) {
+        TraceChunk chunk;
+        chunk.offset = index.get64();
+        chunk.storedBytes = index.get32();
+        chunk.rawBytes = index.get32();
+        chunk.accesses = index.get32();
+        chunk.codec = index.get8();
+        chunk.firstVa = index.get64();
+        chunk.startAccess = total;
+
+        // Chunks are written back to back; enforcing that here means a
+        // corrupt index cannot alias chunks or point into the header.
+        fatal_if(chunk.offset != expectedOffset,
+                 "%s: chunk %lu offset %lu, expected %lu", p,
+                 static_cast<unsigned long>(i),
+                 static_cast<unsigned long>(chunk.offset),
+                 static_cast<unsigned long>(expectedOffset));
+        expectedOffset += chunk.storedBytes;
+        fatal_if(expectedOffset > indexOffset,
+                 "%s: chunk %lu overruns the index", p,
+                 static_cast<unsigned long>(i));
+        fatal_if(chunk.accesses == 0, "%s: empty chunk %lu", p,
+                 static_cast<unsigned long>(i));
+        fatal_if(chunk.rawBytes < chunk.accesses,
+                 "%s: chunk %lu raw bytes below access count", p,
+                 static_cast<unsigned long>(i));
+        if (chunk.codec == chunkCodecRaw) {
+            fatal_if(chunk.storedBytes != chunk.rawBytes,
+                     "%s: raw chunk %lu size mismatch", p,
+                     static_cast<unsigned long>(i));
+        } else if (chunk.codec == chunkCodecDeflate) {
+            fatal_if(!traceCompressionAvailable(),
+                     "%s: compressed trace, but built without zlib", p);
+        } else {
+            fatal("%s: unknown chunk codec %u", p,
+                  static_cast<unsigned>(chunk.codec));
+        }
+
+        total += chunk.accesses;
+        chunks_.push_back(chunk);
+    }
+    header_.accessCount = total;
+}
+
+// ---------------------------------------------------------------------------
+// TraceCursor
+// ---------------------------------------------------------------------------
+
+void
+TraceCursor::rewind()
+{
+    position_ = 0;
+    if (file_.version() == trc1Version) {
+        cursor_ = file_.streamBegin();
+        end_ = file_.streamEnd();
+        prevVa_ = 0;
+        remaining_ = file_.header().accessCount;
+    } else {
+        loadChunk(0);
+    }
+}
+
+void
+TraceCursor::advanceBlock()
+{
+    // A block's varints must consume its byte count exactly; leftovers
+    // mean the stream and the declared access count disagree.
+    fatal_if(cursor_ != end_,
+             "%s: %lu stream bytes left over after the declared "
+             "access count",
+             file_.path().c_str(),
+             static_cast<unsigned long>(end_ - cursor_));
+    if (file_.version() == trc1Version) {
+        // Wrap: the stream restarts at exactly its first address (the
+        // first delta re-bases from 0).
+        cursor_ = file_.streamBegin();
+        prevVa_ = 0;
+        remaining_ = file_.header().accessCount;
+    } else {
+        const std::size_t nextIdx = chunkIdx_ + 1 < file_.chunks().size()
+                                        ? chunkIdx_ + 1
+                                        : 0;
+        loadChunk(nextIdx);
+    }
+}
+
+void
+TraceCursor::loadChunk(std::size_t idx)
+{
+    const TraceChunk &chunk = file_.chunks()[idx];
+    const std::uint8_t *stored = file_.chunkData(idx);
+    if (chunk.codec == chunkCodecRaw) {
+        cursor_ = stored;
+    } else {
+#ifdef ASAP_HAVE_ZLIB
+        if (cache_.empty())
+            cache_.resize(file_.chunks().size());
+        std::vector<std::uint8_t> *dest = &cache_[idx];
+        bool inflate = dest->empty();
+        if (inflate && cachedBytes_ + chunk.rawBytes > maxCachedBytes) {
+            // Past the cache budget: this chunk re-inflates into the
+            // (single-chunk) scratch buffer on every visit.
+            dest = &scratch_;
+        } else if (inflate) {
+            cachedBytes_ += chunk.rawBytes;
+        }
+        if (inflate) {
+            dest->resize(chunk.rawBytes);
+            uLongf destLen = chunk.rawBytes;
+            const int rc = ::uncompress(dest->data(), &destLen, stored,
+                                        chunk.storedBytes);
+            fatal_if(rc != Z_OK || destLen != chunk.rawBytes,
+                     "%s: chunk %zu fails to decompress (zlib rc %d, "
+                     "%lu of %u bytes)",
+                     file_.path().c_str(), idx, rc,
+                     static_cast<unsigned long>(destLen),
+                     chunk.rawBytes);
+        }
+        cursor_ = dest->data();
+#else
+        fatal("%s: compressed trace, but built without zlib",
+              file_.path().c_str());
+#endif
+    }
+    end_ = cursor_ + chunk.rawBytes;
+    prevVa_ = 0;
+    remaining_ = chunk.accesses;
+    chunkIdx_ = idx;
+}
+
+void
+TraceCursor::seekTo(std::uint64_t index)
+{
+    const std::uint64_t total = file_.header().accessCount;
+    const std::uint64_t target = index % total;
+
+    if (file_.version() == trc1Version) {
+        // No index to seek through: decode forward from the start.
+        rewind();
+        for (std::uint64_t k = 0; k < target; ++k)
+            next();
+        position_ = index;
+        return;
+    }
+
+    const auto &chunks = file_.chunks();
+    // Last chunk whose startAccess <= target.
+    std::size_t lo = 0, hi = chunks.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi + 1) / 2;
+        if (chunks[mid].startAccess <= target)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    loadChunk(lo);
+    position_ = chunks[lo].startAccess;
+    for (std::uint64_t k = chunks[lo].startAccess; k < target; ++k)
+        next();
+    position_ = index;
+}
+
+} // namespace asap

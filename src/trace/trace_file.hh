@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Version-transparent reader for ASAP trace containers.
+ *
+ * ASAPTRC1 (src/workloads/trace.cc) is a monolithic zigzag-varint delta
+ * stream; ASAPTRC2 (src/trace/writer.cc) splits the stream into
+ * self-contained chunks with a seekable end-of-file index, optional
+ * per-chunk compression and a sampled-stream mode. TraceFile loads
+ * either version behind one interface, and TraceCursor decodes the
+ * address stream of either — so TraceReplayWorkload, the sweeps and
+ * perf_hotpath accept both formats without caring which they got.
+ *
+ * ASAPTRC2 layout (little-endian):
+ *
+ *   magic     "ASAPTRC2" (8 bytes)
+ *   u32       version (2)
+ *   u32       reserved (0)
+ *   <metadata block — identical layout to ASAPTRC1>:
+ *     str  workload name, u32 computeCyclesPerAccess, f64 paperGb,
+ *     u64  residentPages, u64 machineMemBytes, u64 guestMemBytes,
+ *     u64  churnOps, u64 guestChurnOps, u32 churnMaxOrder,
+ *     u64  recordSeed
+ *   u64       opBytes, then the setup op stream (v1 encoding)
+ *   u64       representedAccesses   (pre-sampling total)
+ *   u32       sampleInterval        (1 = full stream; N = 1-in-N chunks)
+ *   u32       chunkTargetAccesses   (accesses per chunk, last may be
+ *                                    shorter)
+ *   -- chunk payloads, back to back (u64 dataOffset = here) --
+ *   -- index --
+ *   magic     "ASAPIDX2" (8 bytes)
+ *   per chunk: u64 payload offset (absolute), u32 storedBytes,
+ *              u32 rawBytes, u32 accesses, u8 codec, u64 firstVa
+ *   -- footer (fixed 24 bytes at EOF) --
+ *   u64       indexOffset
+ *   u64       chunkCount
+ *   magic     "ASAPEND2" (8 bytes)
+ *
+ * Each chunk's delta stream re-bases from VA 0 (its first varint holds
+ * the full first address), so chunks decode independently: seeks land
+ * on any chunk, and sampled traces — which omit whole chunks — replay
+ * without desyncing. Sampled traces carry representedAccesses >
+ * accessCount; RunStats measured over the sampled stream can be scaled
+ * by representedAccesses/accessCount.
+ */
+
+#ifndef ASAP_TRACE_TRACE_FILE_HH
+#define ASAP_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/format.hh"
+
+namespace asap
+{
+
+/** Decoded trace metadata (the fixed part of either header). */
+struct TraceHeader
+{
+    std::string name;
+    unsigned cyclesPerAccess = 0;
+    double paperGb = 0.0;
+    std::uint64_t residentPages = 0;
+    std::uint64_t machineMemBytes = 0;
+    std::uint64_t guestMemBytes = 0;
+    std::uint64_t churnOps = 0;
+    std::uint64_t guestChurnOps = 0;
+    unsigned churnMaxOrder = 0;
+    std::uint64_t recordSeed = 0;
+
+    /** Accesses stored in this file (what a replay loops over). */
+    std::uint64_t accessCount = 0;
+    /** Accesses the original capture represented. Equal to accessCount
+     *  for full traces; larger for sampled ones (scale RunStats by
+     *  representedAccesses / accessCount). */
+    std::uint64_t representedAccesses = 0;
+    /** 1 = full stream; N = every N-th chunk was recorded. */
+    std::uint32_t sampleInterval = 1;
+    /** v2 only: target accesses per chunk (0 for v1). */
+    std::uint32_t chunkAccesses = 0;
+};
+
+/** One ASAPTRC2 chunk-index entry. */
+struct TraceChunk
+{
+    std::uint64_t offset = 0;       ///< payload offset in the file
+    std::uint32_t storedBytes = 0;  ///< bytes on disk (post-codec)
+    std::uint32_t rawBytes = 0;     ///< decoded varint-block bytes
+    std::uint32_t accesses = 0;     ///< addresses in this chunk
+    std::uint8_t codec = chunkCodecRaw;
+    VirtAddr firstVa = 0;           ///< first address (metadata/stats)
+    /** Cumulative access index of this chunk's first address within the
+     *  stored stream (computed at load). */
+    std::uint64_t startAccess = 0;
+};
+
+/**
+ * A loaded (mmap-backed, read-only) trace file, v1 or v2. Cheap to open
+ * per Environment; concurrent readers share the page cache. fatal() on
+ * malformed files — headers, section lengths, the chunk index and the
+ * footer are all validated at load.
+ */
+class TraceFile
+{
+  public:
+    explicit TraceFile(const std::string &path);
+
+    TraceFile(const TraceFile &) = delete;
+    TraceFile &operator=(const TraceFile &) = delete;
+
+    const TraceHeader &header() const { return header_; }
+    const std::string &path() const { return file_.path(); }
+    std::uint64_t fileBytes() const { return file_.size(); }
+    unsigned version() const { return version_; }
+
+    /** Raw setup-op bytes [begin, end) — same encoding in v1 and v2. */
+    const std::uint8_t *opsBegin() const
+    { return file_.data() + opsOffset_; }
+    const std::uint8_t *opsEnd() const { return opsBegin() + opsBytes_; }
+
+    /** v1: raw address-stream bytes [begin, end). */
+    const std::uint8_t *streamBegin() const
+    { return file_.data() + streamOffset_; }
+    const std::uint8_t *streamEnd() const
+    { return streamBegin() + streamBytes_; }
+
+    /** v2: the chunk index (empty for v1). */
+    const std::vector<TraceChunk> &chunks() const { return chunks_; }
+
+    /** v2: stored payload bytes of chunk @p i. */
+    const std::uint8_t *
+    chunkData(std::size_t i) const
+    {
+        return file_.data() + chunks_[i].offset;
+    }
+
+  private:
+    void loadV1(ByteReader &in);
+    void loadV2(ByteReader &in);
+
+    MappedFile file_;
+    unsigned version_ = 0;
+
+    TraceHeader header_;
+    std::uint64_t opsOffset_ = 0;
+    std::uint64_t opsBytes_ = 0;
+    std::uint64_t streamOffset_ = 0;    ///< v1 only
+    std::uint64_t streamBytes_ = 0;     ///< v1 only
+    std::vector<TraceChunk> chunks_;    ///< v2 only
+};
+
+/**
+ * Decodes the stored address stream of a TraceFile, v1 or v2. next()
+ * wraps to the stream start when the stored accesses run out (the
+ * replay equivalent of a generator never running dry); compressed v2
+ * chunks are inflated into a reusable buffer as the cursor enters them.
+ */
+class TraceCursor
+{
+  public:
+    explicit TraceCursor(const TraceFile &file) : file_(file)
+    { rewind(); }
+
+    /** Back to the first stored access. */
+    void rewind();
+
+    /** Next address; wraps past the last stored access. */
+    VirtAddr
+    next()
+    {
+        if (remaining_ == 0)
+            advanceBlock();
+        --remaining_;
+        ++position_;
+        prevVa_ = static_cast<VirtAddr>(
+            static_cast<std::int64_t>(prevVa_) +
+            unzigzag(decodeVarint(cursor_, end_,
+                                  file_.path().c_str())));
+        return prevVa_;
+    }
+
+    /**
+     * Position the cursor so the next next() returns stored access
+     * @p index (taken modulo the stored access count). v2 seeks through
+     * the chunk index; v1 decodes forward from the nearest preceding
+     * position.
+     */
+    void seekTo(std::uint64_t index);
+
+    /** Stored-access index the next next() will return (not wrapped). */
+    std::uint64_t position() const { return position_; }
+
+  private:
+    void advanceBlock();
+    void loadChunk(std::size_t idx);
+
+    /** Inflated chunks kept for re-use (wrap, seeks) up to this total;
+     *  past it, later chunks inflate into the scratch buffer on every
+     *  visit. Caching keeps looping replays as fast as v1 decode. */
+    static constexpr std::uint64_t maxCachedBytes = 256ull << 20;
+
+    const TraceFile &file_;
+    const std::uint8_t *cursor_ = nullptr;
+    const std::uint8_t *end_ = nullptr;
+    VirtAddr prevVa_ = 0;
+    std::uint64_t remaining_ = 0;   ///< accesses left in current block
+    std::size_t chunkIdx_ = 0;      ///< v2: current chunk
+    std::uint64_t position_ = 0;
+    std::vector<std::uint8_t> scratch_;   ///< v2: past-budget inflation
+    std::vector<std::vector<std::uint8_t>> cache_;  ///< v2: per chunk
+    std::uint64_t cachedBytes_ = 0;
+};
+
+/** True when the library was built with zlib (deflate chunks readable
+ *  and writable); without it, compressed traces fatal() at load. */
+bool traceCompressionAvailable();
+
+} // namespace asap
+
+#endif // ASAP_TRACE_TRACE_FILE_HH

@@ -236,7 +236,7 @@ applyQuickMode(WorkloadSpec spec)
 {
     const char *quick = std::getenv("ASAP_QUICK");
     if (quick && quick[0] != '\0' && quick[0] != '0')
-        return scaledDown(std::move(spec), 4);
+        return scaledDown(std::move(spec), quickScaleDivisor);
     return spec;
 }
 

@@ -43,6 +43,15 @@ std::optional<WorkloadSpec> specByName(const std::string &name);
 std::vector<WorkloadSpec>
 specsByNames(const std::vector<std::string> &names);
 
+/** Quick-mode (ASAP_QUICK=1 / --quick) constants, shared so the CLI
+ *  tools and benchmarks stay in lockstep: the footprint divisor
+ *  applyQuickMode() uses and the quick-run access counts
+ *  (perf_hotpath --quick and trace_record --quick record/measure the
+ *  same stream length). */
+constexpr unsigned quickScaleDivisor = 4;
+constexpr std::uint64_t quickWarmupAccesses = 30'000;
+constexpr std::uint64_t quickMeasureAccesses = 120'000;
+
 /**
  * Scale a spec's footprint and memory sizing down by @p divisor —
  * used by tests and quick calibration runs (set ASAP_QUICK=1).

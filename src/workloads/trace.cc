@@ -1,405 +1,33 @@
 #include "workloads/trace.hh"
 
-#include <cstdio>
-#include <cstring>
-
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include "common/logging.hh"
 #include "sim/environment.hh"
 #include "sim/system.hh"
+#include "trace/setup_capture.hh"
 
 namespace asap
 {
 
-namespace
-{
-
-constexpr char traceMagic[8] = {'A', 'S', 'A', 'P', 'T', 'R', 'C', '1'};
-constexpr std::uint32_t traceVersion = 1;
-
-constexpr std::uint8_t opMmap = 0;
-constexpr std::uint8_t opTouchRun = 1;
-
-// ---------------------------------------------------------------------------
-// Little-endian primitives + LEB128 varints
-// ---------------------------------------------------------------------------
-
-void
-put32(std::string &out, std::uint32_t v)
-{
-    for (unsigned i = 0; i < 4; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-put64(std::string &out, std::uint64_t v)
-{
-    for (unsigned i = 0; i < 8; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-putVarint(std::string &out, std::uint64_t v)
-{
-    while (v >= 0x80) {
-        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
-        v >>= 7;
-    }
-    out.push_back(static_cast<char>(v));
-}
-
-std::uint64_t
-zigzag(std::int64_t v)
-{
-    return (static_cast<std::uint64_t>(v) << 1) ^
-           static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t
-unzigzag(std::uint64_t v)
-{
-    return static_cast<std::int64_t>(v >> 1) ^
-           -static_cast<std::int64_t>(v & 1);
-}
-
-void
-putString(std::string &out, const std::string &s)
-{
-    put32(out, static_cast<std::uint32_t>(s.size()));
-    out.append(s);
-}
-
-/** Bounds-checked reader over the mapped file. */
-class Reader
-{
-  public:
-    Reader(const std::uint8_t *data, std::uint64_t size,
-           const std::string &path)
-        : data_(data), size_(size), path_(path)
-    {}
-
-    std::uint64_t offset() const { return offset_; }
-
-    const std::uint8_t *
-    skip(std::uint64_t bytes)
-    {
-        need(bytes);
-        const std::uint8_t *at = data_ + offset_;
-        offset_ += bytes;
-        return at;
-    }
-
-    std::uint32_t
-    get32()
-    {
-        const std::uint8_t *p = skip(4);
-        std::uint32_t v = 0;
-        for (unsigned i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-        return v;
-    }
-
-    std::uint64_t
-    get64()
-    {
-        const std::uint8_t *p = skip(8);
-        std::uint64_t v = 0;
-        for (unsigned i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-        return v;
-    }
-
-    std::string
-    getString()
-    {
-        const std::uint32_t len = get32();
-        fatal_if(len > 4096, "%s: implausible string length %u",
-                 path_.c_str(), len);
-        const std::uint8_t *p = skip(len);
-        return std::string(reinterpret_cast<const char *>(p), len);
-    }
-
-  private:
-    void
-    need(std::uint64_t bytes)
-    {
-        // offset_ <= size_ always holds (only advanced here), so the
-        // subtraction cannot wrap — unlike offset_ + bytes, which a
-        // malicious section size near UINT64_MAX would overflow.
-        fatal_if(bytes > size_ - offset_,
-                 "%s: truncated trace (need %lu bytes at offset %lu, "
-                 "file has %lu)",
-                 path_.c_str(), static_cast<unsigned long>(bytes),
-                 static_cast<unsigned long>(offset_),
-                 static_cast<unsigned long>(size_));
-    }
-
-    const std::uint8_t *data_;
-    std::uint64_t size_;
-    const std::string &path_;
-    std::uint64_t offset_ = 0;
-};
-
-/**
- * Decode one LEB128 varint, never reading at or past @p end. Traces can
- * come from external converters, so malformed input must fatal(), not
- * read out of bounds; the two compares per byte are noise next to the
- * simulated access consuming the value.
- */
-inline std::uint64_t
-decodeVarint(const std::uint8_t *&cursor, const std::uint8_t *end,
-             const char *path)
-{
-    std::uint64_t v = 0;
-    unsigned shift = 0;
-    while (true) {
-        fatal_if(cursor >= end, "%s: truncated varint", path);
-        const std::uint8_t byte = *cursor++;
-        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-        if ((byte & 0x80) == 0)
-            return v;
-        shift += 7;
-        fatal_if(shift > 63, "%s: varint exceeds 64 bits", path);
-    }
-}
-
-double
-bitsToDouble(std::uint64_t bits)
-{
-    double d;
-    std::memcpy(&d, &bits, sizeof(d));
-    return d;
-}
-
-std::uint64_t
-doubleToBits(double d)
-{
-    std::uint64_t bits;
-    std::memcpy(&bits, &d, sizeof(bits));
-    return bits;
-}
-
-// ---------------------------------------------------------------------------
-// Setup-op capture
-// ---------------------------------------------------------------------------
-
-/** Serializes the mmap/touch sequence of one setup() run, coalescing
- *  page-stride touch sequences into runs. */
-class SetupCapture : public SetupRecorder
-{
-  public:
-    void
-    onMmap(std::uint64_t bytes, const std::string &name,
-           bool prefetchable) override
-    {
-        flushRun();
-        ops_.push_back(static_cast<char>(opMmap));
-        putVarint(ops_, bytes);
-        ops_.push_back(prefetchable ? 1 : 0);
-        putString(ops_, name);
-    }
-
-    void
-    onTouch(VirtAddr va) override
-    {
-        if (runLength_ > 0 && va == runStart_ + runLength_ * pageSize) {
-            ++runLength_;
-            return;
-        }
-        flushRun();
-        runStart_ = va;
-        runLength_ = 1;
-    }
-
-    /** The finished op stream (flushes any pending touch run). */
-    std::string
-    take()
-    {
-        flushRun();
-        return std::move(ops_);
-    }
-
-  private:
-    void
-    flushRun()
-    {
-        if (runLength_ == 0)
-            return;
-        ops_.push_back(static_cast<char>(opTouchRun));
-        putVarint(ops_, zigzag(static_cast<std::int64_t>(runStart_) -
-                               static_cast<std::int64_t>(prevStart_)));
-        putVarint(ops_, runLength_);
-        prevStart_ = runStart_;
-        runLength_ = 0;
-    }
-
-    std::string ops_;
-    VirtAddr runStart_ = 0;
-    std::uint64_t runLength_ = 0;
-    VirtAddr prevStart_ = 0;
-};
-
-} // namespace
-
-// ---------------------------------------------------------------------------
-// TraceFile
-// ---------------------------------------------------------------------------
-
-TraceFile::TraceFile(const std::string &path) : path_(path)
-{
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    fatal_if(fd < 0, "cannot open trace %s", path.c_str());
-    struct stat st;
-    fatal_if(::fstat(fd, &st) != 0, "cannot stat trace %s", path.c_str());
-    size_ = static_cast<std::uint64_t>(st.st_size);
-    fatal_if(size_ < sizeof(traceMagic) + 8, "trace %s too small",
-             path.c_str());
-
-    void *map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
-    if (map != MAP_FAILED) {
-        data_ = static_cast<const std::uint8_t *>(map);
-        mapped_ = true;
-    } else {
-        // mmap-less fallback (exotic filesystems): read into the heap.
-        fallback_.resize(size_);
-        std::uint64_t got = 0;
-        while (got < size_) {
-            const ssize_t n =
-                ::pread(fd, fallback_.data() + got, size_ - got, got);
-            fatal_if(n <= 0, "cannot read trace %s", path.c_str());
-            got += static_cast<std::uint64_t>(n);
-        }
-        data_ = fallback_.data();
-    }
-    ::close(fd);
-
-    Reader in(data_, size_, path_);
-    const std::uint8_t *magic = in.skip(sizeof(traceMagic));
-    fatal_if(std::memcmp(magic, traceMagic, sizeof(traceMagic)) != 0,
-             "%s is not an ASAP trace", path.c_str());
-    const std::uint32_t version = in.get32();
-    fatal_if(version != traceVersion,
-             "%s: unsupported trace version %u (reader supports %u)",
-             path.c_str(), version, traceVersion);
-    in.get32();   // reserved
-
-    header_.name = in.getString();
-    header_.cyclesPerAccess = in.get32();
-    header_.paperGb = bitsToDouble(in.get64());
-    header_.residentPages = in.get64();
-    header_.machineMemBytes = in.get64();
-    header_.guestMemBytes = in.get64();
-    header_.churnOps = in.get64();
-    header_.guestChurnOps = in.get64();
-    header_.churnMaxOrder = in.get32();
-    header_.recordSeed = in.get64();
-
-    opsBytes_ = in.get64();
-    opsOffset_ = in.offset();
-    in.skip(opsBytes_);
-
-    header_.accessCount = in.get64();
-    streamBytes_ = in.get64();
-    streamOffset_ = in.offset();
-    in.skip(streamBytes_);
-
-    fatal_if(header_.accessCount == 0, "%s: empty address stream",
-             path.c_str());
-}
-
-TraceFile::~TraceFile()
-{
-    if (mapped_)
-        ::munmap(const_cast<std::uint8_t *>(data_), size_);
-}
-
-// ---------------------------------------------------------------------------
-// TraceReplayWorkload
-// ---------------------------------------------------------------------------
-
 void
 TraceReplayWorkload::setup(System &system)
 {
-    const char *path = trace_->path().c_str();
-    const std::uint8_t *cursor = trace_->opsBegin();
-    const std::uint8_t *end = trace_->opsEnd();
-    VirtAddr prevStart = 0;
-    while (cursor < end) {
-        const std::uint8_t tag = *cursor++;
-        if (tag == opMmap) {
-            const std::uint64_t bytes = decodeVarint(cursor, end, path);
-            fatal_if(end - cursor < 5, "%s: truncated mmap op", path);
-            const bool prefetchable = *cursor++ != 0;
-            std::uint32_t nameLen = 0;
-            for (unsigned i = 0; i < 4; ++i)
-                nameLen |= static_cast<std::uint32_t>(*cursor++)
-                           << (8 * i);
-            fatal_if(nameLen > 4096 ||
-                         static_cast<std::uint64_t>(end - cursor) <
-                             nameLen,
-                     "%s: implausible mmap name length %u", path,
-                     nameLen);
-            const std::string name(
-                reinterpret_cast<const char *>(cursor), nameLen);
-            cursor += nameLen;
-            system.mmap(bytes, name, prefetchable);
-        } else if (tag == opTouchRun) {
-            const VirtAddr start = static_cast<VirtAddr>(
-                static_cast<std::int64_t>(prevStart) +
-                unzigzag(decodeVarint(cursor, end, path)));
-            const std::uint64_t length = decodeVarint(cursor, end, path);
-            for (std::uint64_t k = 0; k < length; ++k)
-                system.touch(start + k * pageSize);
-            prevStart = start;
-        } else {
-            fatal("%s: unknown setup op %u", path,
-                  static_cast<unsigned>(tag));
-        }
-    }
+    replaySetupOps(system, trace_->opsBegin(), trace_->opsEnd(),
+                   trace_->path().c_str());
 }
-
-void
-TraceReplayWorkload::rewind()
-{
-    cursor_ = trace_->streamBegin();
-    prevVa_ = 0;
-    remaining_ = trace_->header().accessCount;
-}
-
-VirtAddr
-TraceReplayWorkload::decodeNext()
-{
-    if (remaining_ == 0) {
-        // The run needs more accesses than were recorded: loop the
-        // stream (the replay equivalent of a generator never running
-        // dry). The first post-wrap delta re-bases from 0, so the
-        // stream restarts at exactly its first address.
-        rewind();
-    }
-    prevVa_ = static_cast<VirtAddr>(
-        static_cast<std::int64_t>(prevVa_) +
-        unzigzag(decodeVarint(cursor_, trace_->streamEnd(),
-                              trace_->path().c_str())));
-    --remaining_;
-    return prevVa_;
-}
-
-// ---------------------------------------------------------------------------
-// Recording
-// ---------------------------------------------------------------------------
 
 void
 recordTrace(const WorkloadSpec &spec, const std::string &path,
-            std::uint64_t seed, std::uint64_t accesses)
+            std::uint64_t seed, std::uint64_t accesses,
+            const RecordOptions &options)
 {
     fatal_if(accesses == 0, "recordTrace: zero accesses");
     fatal_if(!spec.tracePath.empty(),
              "recordTrace: %s is already trace-backed",
              spec.name.c_str());
+    fatal_if(options.version != trc1Version &&
+                 options.version != trc2Version,
+             "recordTrace: unknown container version %u",
+             options.version);
 
     // Setup runs against a scratch *native* System: the workload's
     // mmap/touch sequence (and its generated stream) do not depend on
@@ -412,6 +40,22 @@ recordTrace(const WorkloadSpec &spec, const std::string &path,
     workload->setup(system);
     system.setRecorder(nullptr);
     const std::string ops = capture.take();
+
+    std::unique_ptr<Trc2Writer> v2;
+    if (options.version == trc2Version) {
+        TraceHeader meta;
+        meta.name = spec.name;
+        meta.cyclesPerAccess = spec.cyclesPerAccess;
+        meta.paperGb = spec.paperGb;
+        meta.residentPages = spec.residentPages;
+        meta.machineMemBytes = spec.machineMemBytes;
+        meta.guestMemBytes = spec.guestMemBytes;
+        meta.churnOps = spec.churnOps;
+        meta.guestChurnOps = spec.guestChurnOps;
+        meta.churnMaxOrder = spec.churnMaxOrder;
+        meta.recordSeed = seed;
+        v2 = std::make_unique<Trc2Writer>(path, meta, ops, options.v2);
+    }
 
     // Draw the stream exactly as Simulator::run does: one reset, then
     // sequential batched generation from the seeded Rng.
@@ -426,17 +70,26 @@ recordTrace(const WorkloadSpec &spec, const std::string &path,
             left < 1024 ? static_cast<std::size_t>(left) : 1024;
         workload->nextBatch(rng, batch, n);
         for (std::size_t i = 0; i < n; ++i) {
-            putVarint(stream,
-                      zigzag(static_cast<std::int64_t>(batch[i]) -
-                             static_cast<std::int64_t>(prev)));
-            prev = batch[i];
+            if (v2) {
+                v2->add(batch[i]);
+            } else {
+                putVarint(stream,
+                          zigzag(static_cast<std::int64_t>(batch[i]) -
+                                 static_cast<std::int64_t>(prev)));
+                prev = batch[i];
+            }
         }
         left -= n;
     }
 
+    if (v2) {
+        v2->finish();
+        return;
+    }
+
     std::string out;
-    out.append(traceMagic, sizeof(traceMagic));
-    put32(out, traceVersion);
+    out.append(trc1Magic, sizeof(trc1Magic));
+    put32(out, trc1Version);
     put32(out, 0);
     putString(out, spec.name);
     put32(out, spec.cyclesPerAccess);
@@ -454,12 +107,7 @@ recordTrace(const WorkloadSpec &spec, const std::string &path,
     put64(out, stream.size());
     out.append(stream);
 
-    std::FILE *file = std::fopen(path.c_str(), "wb");
-    fatal_if(!file, "cannot write trace %s", path.c_str());
-    const std::size_t written =
-        std::fwrite(out.data(), 1, out.size(), file);
-    const bool ok = written == out.size() && std::fclose(file) == 0;
-    fatal_if(!ok, "short write to trace %s", path.c_str());
+    writeFileOrDie(path, out);
 }
 
 WorkloadSpec

@@ -14,9 +14,18 @@
  * generate for a given seed). Replaying a trace is therefore
  * bit-identical to running its source generator live — RunStats and all
  * — while decoupling the simulator from how the stream was produced.
- * External traces (e.g. converted DynamoRIO output) use the same format.
  *
- * File format (ASAPTRC1, little-endian):
+ * Two container formats exist and the replayer accepts both
+ * transparently:
+ *   - ASAPTRC1: one monolithic zigzag-varint delta stream (format
+ *     documented below; written by recordTrace's default).
+ *   - ASAPTRC2 (src/trace/): chunked delta blocks with a seekable
+ *     end-of-file index, optional per-chunk deflate compression and a
+ *     sampled-stream mode. External traces (DynamoRIO memtrace,
+ *     ChampSim, text) convert into it via src/trace/importer.hh and
+ *     tools/trace_convert.
+ *
+ * ASAPTRC1 layout (little-endian):
  *
  *   magic     "ASAPTRC1" (8 bytes)
  *   u32       version (1)
@@ -31,12 +40,8 @@
  *   u64       guestChurnOps             | requirements (see traceSpec)
  *   u32       churnMaxOrder            /
  *   u64       recordSeed               (seed the stream was drawn with)
- *   u64       opBytes, then the setup op stream:
- *               tag 0 (mmap) : varint bytes, u8 prefetchable,
- *                              u32 nameLen + name
- *               tag 1 (touch): zigzag-varint (firstVa - prevFirstVa),
- *                              varint runLength; touches
- *                              firstVa + k*pageSize, k in [0, runLength)
+ *   u64       opBytes, then the setup op stream
+ *             (src/trace/setup_capture.hh encoding)
  *   u64       accessCount
  *   u64       streamBytes, then the address stream: one
  *             zigzag-varint delta per access (previous VA starts at 0)
@@ -53,8 +58,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <vector>
 
+#include "trace/trace_file.hh"
+#include "trace/writer.hh"
 #include "workloads/synthetic.hh"
 #include "workloads/workload.hh"
 
@@ -63,66 +69,9 @@ namespace asap
 
 class System;
 
-/** Decoded trace metadata (the fixed part of the header). */
-struct TraceHeader
-{
-    std::string name;
-    unsigned cyclesPerAccess = 0;
-    double paperGb = 0.0;
-    std::uint64_t residentPages = 0;
-    std::uint64_t machineMemBytes = 0;
-    std::uint64_t guestMemBytes = 0;
-    std::uint64_t churnOps = 0;
-    std::uint64_t guestChurnOps = 0;
-    unsigned churnMaxOrder = 0;
-    std::uint64_t recordSeed = 0;
-    std::uint64_t accessCount = 0;
-};
-
 /**
- * A loaded (mmap-backed, read-only) trace file. Cheap to open per
- * Environment; concurrent readers share the page cache.
- */
-class TraceFile
-{
-  public:
-    /** Open and validate @p path; fatal() on a malformed file. */
-    explicit TraceFile(const std::string &path);
-    ~TraceFile();
-
-    TraceFile(const TraceFile &) = delete;
-    TraceFile &operator=(const TraceFile &) = delete;
-
-    const TraceHeader &header() const { return header_; }
-    const std::string &path() const { return path_; }
-
-    /** Raw setup-op bytes [begin, end). */
-    const std::uint8_t *opsBegin() const { return data_ + opsOffset_; }
-    const std::uint8_t *opsEnd() const
-    { return opsBegin() + opsBytes_; }
-
-    /** Raw address-stream bytes [begin, end). */
-    const std::uint8_t *streamBegin() const
-    { return data_ + streamOffset_; }
-    const std::uint8_t *streamEnd() const
-    { return streamBegin() + streamBytes_; }
-
-  private:
-    std::string path_;
-    const std::uint8_t *data_ = nullptr;
-    std::uint64_t size_ = 0;
-    bool mapped_ = false;       ///< mmap vs heap fallback
-    std::vector<std::uint8_t> fallback_;
-
-    TraceHeader header_;
-    std::uint64_t opsOffset_ = 0;
-    std::uint64_t opsBytes_ = 0;
-    std::uint64_t streamOffset_ = 0;
-    std::uint64_t streamBytes_ = 0;
-};
-
-/**
- * Replays a recorded trace through the Workload interface.
+ * Replays a recorded trace (either container version) through the
+ * Workload interface.
  *
  * setup() re-executes the recorded mmap/touch sequence; next()/
  * nextBatch() decode the recorded address stream, wrapping around when
@@ -134,27 +83,26 @@ class TraceReplayWorkload : public Workload
 {
   public:
     explicit TraceReplayWorkload(const std::string &path)
-        : trace_(std::make_unique<TraceFile>(path))
-    {
-        rewind();
-    }
+        : trace_(std::make_unique<TraceFile>(path)), cursor_(*trace_)
+    {}
 
     const std::string &name() const override
     { return trace_->header().name; }
 
     void setup(System &system) override;
 
-    void reset(Rng &rng) override
+    void
+    reset(Rng &rng) override
     {
         (void)rng;
-        rewind();
+        cursor_.rewind();
     }
 
     VirtAddr
     next(Rng &rng) override
     {
         (void)rng;
-        return decodeNext();
+        return cursor_.next();
     }
 
     void
@@ -162,7 +110,7 @@ class TraceReplayWorkload : public Workload
     {
         (void)rng;
         for (std::size_t i = 0; i < count; ++i)
-            out[i] = decodeNext();
+            out[i] = cursor_.next();
     }
 
     unsigned computeCyclesPerAccess() const override
@@ -173,16 +121,27 @@ class TraceReplayWorkload : public Workload
 
     const TraceFile &trace() const { return *trace_; }
 
+    /** representedAccesses / accessCount — multiply count-type RunStats
+     *  by this to estimate full-capture numbers when replaying a
+     *  sampled (1-in-N chunk) trace; 1.0 for full traces. */
+    double
+    sampleScale() const
+    {
+        const TraceHeader &header = trace_->header();
+        return static_cast<double>(header.representedAccesses) /
+               static_cast<double>(header.accessCount);
+    }
+
   private:
-    void rewind();
-    VirtAddr decodeNext();
-
     std::unique_ptr<TraceFile> trace_;
+    TraceCursor cursor_;
+};
 
-    // Stream cursor state.
-    const std::uint8_t *cursor_ = nullptr;
-    VirtAddr prevVa_ = 0;
-    std::uint64_t remaining_ = 0;
+/** Options for recordTrace: container version (and v2 knobs). */
+struct RecordOptions
+{
+    unsigned version = trc1Version;
+    Trc2Options v2;   ///< used when version == trc2Version
 };
 
 /**
@@ -196,7 +155,8 @@ class TraceReplayWorkload : public Workload
  * every scenario (native/virt, baseline/ASAP, ...) of its workload.
  */
 void recordTrace(const WorkloadSpec &spec, const std::string &path,
-                 std::uint64_t seed, std::uint64_t accesses);
+                 std::uint64_t seed, std::uint64_t accesses,
+                 const RecordOptions &options = {});
 
 /**
  * A WorkloadSpec describing a recorded trace: name and System sizing

@@ -191,6 +191,82 @@ TEST(TraceFormat, MalformedTraceIsFatal)
                 "truncated");
 }
 
+/** A header whose access count exceeds what the stream bytes can hold
+ *  (each delta is at least one varint byte) is rejected at load, not
+ *  mid-replay. Crafted by hand: the field offsets depend on the name. */
+TEST(TraceFormat, StreamShorterThanAccessCountIsFatal)
+{
+    std::string bytes;
+    bytes.append("ASAPTRC1", 8);
+    put32(bytes, 1);            // version
+    put32(bytes, 0);            // reserved
+    putString(bytes, "x");      // name
+    put32(bytes, 4);            // cyclesPerAccess
+    put64(bytes, doubleToBits(1.0));
+    put64(bytes, 100);          // residentPages
+    put64(bytes, 1_GiB);        // machineMemBytes
+    put64(bytes, 256_MiB);      // guestMemBytes
+    put64(bytes, 0);            // churnOps
+    put64(bytes, 0);            // guestChurnOps
+    put32(bytes, 0);            // churnMaxOrder
+    put64(bytes, 7);            // recordSeed
+    put64(bytes, 0);            // opBytes (no setup ops)
+    put64(bytes, 5);            // accessCount: 5 ...
+    put64(bytes, 2);            // ... but only 2 stream bytes
+    bytes.push_back(2);
+    bytes.push_back(4);
+
+    const TempTrace bad("trace_short_stream.asaptrace");
+    {
+        std::FILE *f = std::fopen(bad.path().c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                  bytes.size());
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceFile{bad.path()}, testing::ExitedWithCode(1),
+                "shorter than access count");
+}
+
+/** A stream byte with its varint continuation bit forced on makes the
+ *  last delta run past the section end: the decoder must fatal() when
+ *  it gets there, not read on. */
+TEST(TraceFormat, CorruptStreamVarintIsFatal)
+{
+    const TempTrace valid("trace_varint_src.asaptrace");
+    recordTrace(smallSpec(), valid.path(), 7, 200);
+
+    std::string bytes;
+    {
+        std::FILE *in = std::fopen(valid.path().c_str(), "rb");
+        ASSERT_NE(in, nullptr);
+        char buffer[4096];
+        std::size_t n;
+        while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0)
+            bytes.append(buffer, n);
+        std::fclose(in);
+    }
+    bytes.back() = static_cast<char>(bytes.back() | 0x80);
+
+    const TempTrace bad("trace_varint_bad.asaptrace");
+    {
+        std::FILE *out = std::fopen(bad.path().c_str(), "wb");
+        ASSERT_NE(out, nullptr);
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), out),
+                  bytes.size());
+        std::fclose(out);
+    }
+
+    const auto decodeEverything = [&bad]() {
+        TraceReplayWorkload replay(bad.path());
+        Rng unused(1);
+        for (unsigned i = 0; i < 200; ++i)
+            replay.next(unused);
+    };
+    EXPECT_EXIT(decodeEverything(), testing::ExitedWithCode(1),
+                "truncated varint|exceeds 64 bits");
+}
+
 TEST(TraceReplay, StreamMatchesGenerator)
 {
     const TempTrace trace("trace_stream_match.asaptrace");

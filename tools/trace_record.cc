@@ -9,13 +9,17 @@
  *
  * The recorded stream is exactly what Simulator::run would draw from
  * the generator with the same seed, so a replay over the same access
- * count reproduces the live run's RunStats bit-for-bit.
+ * count reproduces the live run's RunStats bit-for-bit. The default
+ * container is ASAPTRC1; --v2 records the chunked (and compressed)
+ * ASAPTRC2 directly — equivalent to piping through trace_convert.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include <sys/stat.h>
 
 #include "sim/environment.hh"
 #include "workloads/suite.hh"
@@ -40,6 +44,11 @@ usage(const char *argv0)
         "                  RunConfig's warmup+measure count)\n"
         "  --scale N       record the workload scaled down by N\n"
         "                  (suite.cc scaledDown; 1 = full size)\n"
+        "  --quick         CI mode: the standard quick-mode workload\n"
+        "                  scaling (exactly what ASAP_QUICK=1 applies,\n"
+        "                  never both) and the quick-run access count\n"
+        "                  (150k, the perf_hotpath --quick run length)\n"
+        "  --v2            write the chunked ASAPTRC2 container\n"
         "\n"
         "ASAP_QUICK=1 applies the standard quick-mode scaling, matching\n"
         "what an Environment would run (and shrinking the default\n"
@@ -60,6 +69,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 7;
     std::uint64_t accesses = 0;
     unsigned scale = 1;
+    bool quick = false;
+    RecordOptions record;
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 0);
@@ -68,6 +79,10 @@ main(int argc, char **argv)
             accesses = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
             scale = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--v2") == 0) {
+            record.version = trc2Version;
         } else {
             return usage(argv[0]);
         }
@@ -85,24 +100,42 @@ main(int argc, char **argv)
                      name.c_str());
         return 2;
     }
-    // Match what an Environment would simulate: quick-mode scaling via
-    // ASAP_QUICK, plus any explicit --scale on top.
-    const WorkloadSpec recorded =
-        scaledDown(applyQuickMode(*spec), scale);
+    // Match what a quick-mode Environment would simulate: one
+    // application of the standard scaling, whether requested by flag
+    // or by ASAP_QUICK (never stacked), plus any explicit --scale.
+    const WorkloadSpec shrunk =
+        quick ? scaledDown(*spec, quickScaleDivisor)
+              : applyQuickMode(*spec);
+    const WorkloadSpec recorded = scaledDown(shrunk, scale);
     if (accesses == 0) {
-        const RunConfig run = defaultRunConfig();
-        accesses = run.warmupAccesses + run.measureAccesses;
+        if (quick) {
+            // The perf_hotpath --quick run length.
+            accesses = quickWarmupAccesses + quickMeasureAccesses;
+        } else {
+            const RunConfig run = defaultRunConfig();
+            accesses = run.warmupAccesses + run.measureAccesses;
+        }
     }
 
-    recordTrace(recorded, path, seed, accesses);
+    recordTrace(recorded, path, seed, accesses, record);
 
+    struct stat st;
+    const std::uint64_t fileBytes =
+        ::stat(path.c_str(), &st) == 0
+            ? static_cast<std::uint64_t>(st.st_size)
+            : 0;
     const WorkloadSpec check = traceSpec(path);
     std::printf("%s: recorded %llu accesses of %s (seed %llu, "
-                "%llu resident pages)\n",
+                "%llu resident pages)\n"
+                "%s: %llu bytes, %.2f bytes/access\n",
                 path.c_str(),
                 static_cast<unsigned long long>(accesses),
                 check.name.c_str(),
                 static_cast<unsigned long long>(seed),
-                static_cast<unsigned long long>(check.residentPages));
+                static_cast<unsigned long long>(check.residentPages),
+                path.c_str(),
+                static_cast<unsigned long long>(fileBytes),
+                static_cast<double>(fileBytes) /
+                    static_cast<double>(accesses));
     return 0;
 }
