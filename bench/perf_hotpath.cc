@@ -38,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,6 +49,7 @@
 #include "exp/sweep.hh"
 #include "sim/environment.hh"
 #include "trace/convert.hh"
+#include "workloads/dynamic.hh"
 #include "workloads/suite.hh"
 #include "workloads/trace.hh"
 
@@ -63,6 +65,8 @@ struct BenchCase
     EnvironmentOptions env;
     MachineConfig machine;
     bool colocation = false;
+    /** Non-empty: attach this OS-dynamics profile to the workload. */
+    std::string dynProfile;
 };
 
 /** The representative hot-path configurations. */
@@ -97,6 +101,17 @@ benchCases()
     coloc.machine = makeMachineConfig(AsapConfig::p1p2());
     coloc.colocation = true;
     cases.push_back(coloc);
+
+    // Dynamic run: tenant churn + madvise/refault + region lifecycle
+    // riding the same stream (src/dyn). Tracks the cost of the event
+    // machinery and the teardown/invalidation paths; not in the floor
+    // baseline (the static cases gate static-path regressions).
+    BenchCase churn;
+    churn.name = "churn";
+    churn.env.asapPlacement = true;
+    churn.machine = makeMachineConfig(AsapConfig::p1p2());
+    churn.dynProfile = "tenants";
+    cases.push_back(churn);
 
     return cases;
 }
@@ -401,7 +416,14 @@ main(int argc, char **argv)
     for (const BenchCase &bc : benchCases()) {
         if (!only.empty() && bc.name != only)
             continue;
-        Environment env(spec, bc.env);
+        WorkloadSpec caseSpec = spec;
+        if (!bc.dynProfile.empty()) {
+            if (!spec.tracePath.empty())
+                continue;   // replayed traces carry their own events
+            caseSpec = withDynamics(caseSpec, bc.dynProfile);
+        }
+        std::unique_ptr<Environment> env =
+            std::make_unique<Environment>(caseSpec, bc.env);
         RunConfig run = defaultRunConfig(bc.colocation);
         if (quick) {
             run.warmupAccesses = quickWarmupAccesses;
@@ -415,8 +437,14 @@ main(int argc, char **argv)
         timing.accesses = accesses;
         timing.seconds = 1e300;
         for (unsigned rep = 0; rep < reps; ++rep) {
+            // A dynamic run mutates its Environment (tenants linger,
+            // the heap grows, churn blocks drain): rebuild it so every
+            // rep times the same system state. Environment
+            // construction stays outside the timed window.
+            if (!bc.dynProfile.empty() && rep > 0)
+                env = std::make_unique<Environment>(caseSpec, bc.env);
             const double start = cpuSeconds();
-            const RunStats stats = env.run(bc.machine, run);
+            const RunStats stats = env->run(bc.machine, run);
             const double secs = cpuSeconds() - start;
             if (secs < timing.seconds) {
                 timing.seconds = secs;

@@ -226,6 +226,48 @@ class SetAssoc
         }
     }
 
+    /**
+     * Drop every valid way whose (key, payload) satisfies @p pred —
+     * the targeted-invalidation primitive behind the TLB/PWC VA-range
+     * shootdowns (dyn subsystem). Full scan: this runs on OS events
+     * (munmap, madvise), never on the per-access hot path.
+     *
+     * @p pred is invoked exactly once per valid way (clients may update
+     * side counts inside it); removal compacts the set the same way
+     * invalidateKey does, so valid ways stay a prefix and surviving
+     * ticks — hence all LRU decisions — are untouched.
+     * @return the number of ways dropped.
+     */
+    template <typename Pred>
+    std::uint64_t
+    invalidateWhere(Pred pred)
+    {
+        if (!store_)
+            return 0;
+        std::uint64_t dropped = 0;
+        for (std::uint64_t set = 0; set < sets_; ++set) {
+            Way *base = store_ + set * ways_;
+            unsigned valid = ways_;
+            while (valid > 0 && base[valid - 1].key == 0)
+                --valid;
+            for (unsigned w = 0; w < valid;) {
+                if (pred(base[w].key, base[w].payload)) {
+                    if (w != valid - 1)
+                        base[w] = base[valid - 1];
+                    base[valid - 1].key = 0;
+                    base[valid - 1].tick = 0;
+                    --valid;
+                    ++dropped;
+                    // Re-test slot w: it now holds the not-yet-visited
+                    // way moved down from the tail.
+                } else {
+                    ++w;
+                }
+            }
+        }
+        return dropped;
+    }
+
     /** Invalidate everything and restart the recency clock. No-op on a
      *  never-initialized array (e.g. geometry-disabled PWC levels). */
     void

@@ -1,0 +1,98 @@
+#include "dyn/os_events.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "trace/format.hh"
+
+namespace asap
+{
+
+void
+OsEventStream::add(const OsEvent &event)
+{
+    panic_if(!events_.empty() && event.atAccess < events_.back().atAccess,
+             "OS events must be added in non-decreasing access order "
+             "(%lu after %lu)",
+             static_cast<unsigned long>(event.atAccess),
+             static_cast<unsigned long>(events_.back().atAccess));
+    panic_if(event.kind == OsEventKind::Mmap && event.bytes == 0,
+             "mmap event without a size");
+    panic_if(event.kind == OsEventKind::ReleaseChurn && event.pages > 1000,
+             "release-churn permille %lu > 1000",
+             static_cast<unsigned long>(event.pages));
+    events_.push_back(event);
+}
+
+std::string
+OsEventStream::encode() const
+{
+    std::string out;
+    putVarint(out, events_.size());
+    std::uint64_t prevAt = 0;
+    for (const OsEvent &event : events_) {
+        out.push_back(static_cast<char>(event.kind));
+        putVarint(out, event.atAccess - prevAt);
+        prevAt = event.atAccess;
+        putVarint(out, event.handle == noOsHandle ? 0 : event.handle + 1);
+        putVarint(out, event.addr);
+        putVarint(out, event.pages);
+        putVarint(out, event.bytes);
+        out.push_back(event.prefetchable ? 1 : 0);
+    }
+    return out;
+}
+
+OsEventStream
+OsEventStream::decode(const std::uint8_t *begin, const std::uint8_t *end,
+                      const char *path)
+{
+    OsEventStream stream;
+    const std::uint8_t *cursor = begin;
+    const std::uint64_t count = decodeVarint(cursor, end, path);
+    // Each event costs at least 7 bytes; an absurd count means a
+    // corrupt stream, not a big one.
+    fatal_if(count > static_cast<std::uint64_t>(end - cursor),
+             "%s: implausible OS-event count %lu", path,
+             static_cast<unsigned long>(count));
+    std::unordered_set<std::uint64_t> defined;
+    std::uint64_t at = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        fatal_if(cursor >= end, "%s: truncated OS-event stream", path);
+        OsEvent event;
+        const std::uint8_t kind = *cursor++;
+        fatal_if(kind > static_cast<std::uint8_t>(
+                            OsEventKind::ReleaseChurn),
+                 "%s: unknown OS-event kind %u", path,
+                 static_cast<unsigned>(kind));
+        event.kind = static_cast<OsEventKind>(kind);
+        at += decodeVarint(cursor, end, path);
+        event.atAccess = at;
+        const std::uint64_t handlePlus1 = decodeVarint(cursor, end, path);
+        event.handle = handlePlus1 == 0 ? noOsHandle : handlePlus1 - 1;
+        event.addr = decodeVarint(cursor, end, path);
+        event.pages = decodeVarint(cursor, end, path);
+        event.bytes = decodeVarint(cursor, end, path);
+        fatal_if(cursor >= end, "%s: truncated OS-event stream", path);
+        event.prefetchable = *cursor++ != 0;
+
+        if (event.kind == OsEventKind::Mmap) {
+            fatal_if(event.handle == noOsHandle,
+                     "%s: mmap event without a handle", path);
+            fatal_if(!defined.insert(event.handle).second,
+                     "%s: OS-event handle %lu defined twice", path,
+                     static_cast<unsigned long>(event.handle));
+        } else if (event.handle != noOsHandle) {
+            fatal_if(!defined.count(event.handle),
+                     "%s: OS event uses undefined handle %lu", path,
+                     static_cast<unsigned long>(event.handle));
+        }
+        stream.add(event);
+    }
+    fatal_if(cursor != end,
+             "%s: %lu bytes left over after the OS-event stream", path,
+             static_cast<unsigned long>(end - cursor));
+    return stream;
+}
+
+} // namespace asap

@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <set>
 
 #include "common/logging.hh"
 #include "exp/result_table.hh"
 #include "exp/thread_pool.hh"
+#include "trace/trace_file.hh"
 
 namespace asap::exp
 {
@@ -125,6 +127,16 @@ cellStatColumns()
             {"asapAttempted", [](C c) { return double(c.stats.appAsap.attempted); }},
             {"asapIssued", [](C c) { return double(c.stats.appAsap.issued); }},
             {"hostAsapIssued", [](C c) { return double(c.stats.hostAsap.issued); }},
+            // OS-dynamics activity (all zero for static cells).
+            {"dynEvents", [](C c) { return double(c.stats.dyn.events); }},
+            {"dynMunmaps", [](C c) { return double(c.stats.dyn.munmaps); }},
+            {"dynPagesFreed", [](C c) { return double(c.stats.dyn.dataPagesFreed); }},
+            {"dynPtNodesFreed", [](C c) { return double(c.stats.dyn.ptNodesFreed); }},
+            {"dynTlbInvalidated", [](C c) { return double(c.stats.dyn.tlbInvalidated); }},
+            {"dynPwcInvalidated", [](C c) { return double(c.stats.dyn.pwcInvalidated); }},
+            {"dynRegionGrowthHoles", [](C c) { return double(c.stats.dyn.regionGrowthHoles); }},
+            {"dynRegionRelocations", [](C c) { return double(c.stats.dyn.regionRelocations); }},
+            {"dynRegionsReleased", [](C c) { return double(c.stats.dyn.regionsReleased); }},
         };
     return columns;
 }
@@ -231,23 +243,56 @@ environmentKey(const WorkloadSpec &spec, const EnvironmentOptions &env)
         levels += strprintf("%u.", level);
     return strprintf(
         "%s|t%s|%g|%lu|%u|%u|%u|%g|%g|%g|%lu|%g|%u|%g|%lu|%lu|%lu|%lu|%u"
-        "|v%d|a%d|h%d|p%u|q%u|L%s|hf%g|pp%g|s%lu",
+        "|d%s|dp%lu|di%g"
+        "|v%d|a%d|h%d|p%u|q%u|L%s|hf%g|pp%g|s%lu|i%u",
         spec.name.c_str(), spec.tracePath.c_str(), spec.paperGb,
         spec.residentPages, spec.dataVmas,
         spec.smallVmas, spec.cyclesPerAccess, spec.seqFraction,
         spec.nearFraction, spec.windowFraction, spec.windowPages,
         spec.zipfTheta, spec.linesPerPage, spec.burstContinueProb,
         spec.machineMemBytes, spec.guestMemBytes, spec.churnOps,
-        spec.guestChurnOps, spec.churnMaxOrder, env.virtualized ? 1 : 0,
+        spec.guestChurnOps, spec.churnMaxOrder,
+        spec.dynProfile.c_str(), spec.dynPeriodAccesses,
+        spec.dynIntensity, env.virtualized ? 1 : 0,
         env.asapPlacement ? 1 : 0, env.hostHugePages ? 1 : 0,
         env.ptLevels, env.hostPtLevels, levels.c_str(), env.holeFraction,
-        env.pinnedProb, env.seed);
+        env.pinnedProb, env.seed, env.instance);
+}
+
+/**
+ * Does running this spec mutate its Environment beyond the benign
+ * demand-fault/cursor churn sharing tolerates? Dynamic (OS-event)
+ * runs munmap VMAs, free frames and tear down ASAP regions, so cells
+ * carrying an event stream must never share an Environment — each
+ * gets a private instance regardless of EnvironmentOptions::instance.
+ */
+bool
+runMutatesEnvironment(const WorkloadSpec &spec)
+{
+    if (!spec.dynProfile.empty())
+        return true;
+    if (spec.tracePath.empty())
+        return false;
+    // A replayed trace mutates iff it carries an event-op chunk. The
+    // header probe is an mmap + fixed-size parse, once per path.
+    static std::map<std::string, bool> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(spec.tracePath);
+    if (it == cache.end()) {
+        it = cache.emplace(spec.tracePath,
+                           TraceFile(spec.tracePath).hasEventOps())
+                 .first;
+    }
+    return it->second;
 }
 
 std::string
 groupLabel(const WorkloadSpec &spec, const EnvironmentOptions &env)
 {
     std::string label = spec.name;
+    if (!spec.dynProfile.empty())
+        label += "/" + spec.dynProfile;
     if (env.virtualized)
         label += "/virt";
     if (env.asapPlacement)
@@ -278,10 +323,17 @@ SweepRunner::run(const SweepSpec &spec) const
                        : cells[i].run.seed;
     }
 
-    // Group cells sharing an Environment; groups keep declaration order.
+    // Group cells sharing an Environment; groups keep declaration
+    // order. Cells whose run mutates the Environment (OS-event
+    // workloads) are force-privatized — one group per cell — so
+    // column comparisons never run against a churned System.
     std::map<std::string, std::vector<std::size_t>> groups;
-    for (std::size_t i = 0; i < cells.size(); ++i)
-        groups[environmentKey(cells[i].spec, cells[i].env)].push_back(i);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::string key = environmentKey(cells[i].spec, cells[i].env);
+        if (runMutatesEnvironment(cells[i].spec))
+            key += strprintf("#cell%zu", i);
+        groups[key].push_back(i);
+    }
 
     std::atomic<unsigned> completed{0};
     const unsigned total = static_cast<unsigned>(groups.size());

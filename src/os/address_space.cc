@@ -71,6 +71,76 @@ AddressSpace::extendVma(std::uint64_t id, std::uint64_t bytes)
     return true;
 }
 
+AddressSpace::UnmapCounts
+AddressSpace::unmapRange(Vma &vma, VirtAddr start, VirtAddr end)
+{
+    panic_if((start | end) & pageOffsetMask,
+             "unmapRange not page aligned: [%#lx, %#lx)", start, end);
+    UnmapCounts counts;
+    counts.start = start;
+    counts.end = end;
+    for (VirtAddr va = start; va < end;) {
+        const auto t = pt_.lookup(va);
+        if (!t) {
+            va += pageSize;         // never touched
+            continue;
+        }
+        if (t->leafLevel == 1) {
+            const Pfn frame = t->pfn;
+            pt_.unmap(va);
+            reverseMap_[frame] = noReverse;
+            pinned_[frame] = 0;
+            frames_.freeFrame(frame);
+            ++counts.dataPagesFreed;
+            --vma.touchedPages;
+            --touchedPages_;
+            va += pageSize;
+        } else {
+            // 2MB leaf (host hugepage spaces): free the whole block —
+            // partial teardown of a huge mapping is not modeled.
+            const std::uint64_t span = levelSpan(t->leafLevel);
+            panic_if(t->leafLevel != 2 || alignDown(va, span) < start ||
+                         alignDown(va, span) + span > end,
+                     "unmapRange through a partial huge mapping at %#lx",
+                     va);
+            const VirtAddr base = alignDown(va, span);
+            pt_.unmap(base);
+            frames_.freeBlock(t->pfn, levelBits);
+            counts.dataPagesFreed += entriesPerNode;
+            vma.touchedPages -= entriesPerNode;
+            touchedPages_ -= entriesPerNode;
+            va = base + span;
+        }
+    }
+    counts.ptNodesFreed = pt_.pruneRange(start, end);
+    return counts;
+}
+
+AddressSpace::UnmapCounts
+AddressSpace::munmapVma(std::uint64_t id)
+{
+    Vma *vma = vmas_.byId(id);
+    panic_if(!vma, "munmapVma: unknown VMA %lu", id);
+    UnmapCounts counts = unmapRange(*vma, vma->start, vma->end);
+    // Observers run after the prune: reserved ASAP regions can only
+    // release their physical runs once no PT node occupies them.
+    for (VmaObserver *observer : observers_)
+        observer->onVmaRemoved(*vma);
+    vmas_.remove(id);
+    return counts;
+}
+
+AddressSpace::UnmapCounts
+AddressSpace::madviseFree(VirtAddr start, std::uint64_t nPages)
+{
+    Vma *vma = vmas_.find(start);
+    panic_if(!vma, "madviseFree outside any VMA: %#lx", start);
+    const VirtAddr end = start + nPages * pageSize;
+    panic_if(end > vma->end, "madviseFree past VMA end: [%#lx, %#lx)",
+             start, end);
+    return unmapRange(*vma, start, end);
+}
+
 AddressSpace::TouchResult
 AddressSpace::touch(VirtAddr va)
 {

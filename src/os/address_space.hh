@@ -74,6 +74,32 @@ class AddressSpace : public FrameRelocator
     /** Grow a VMA toward higher addresses (heap brk semantics). */
     bool extendVma(std::uint64_t id, std::uint64_t bytes);
 
+    /** Counters of one teardown operation (dyn subsystem). */
+    struct UnmapCounts
+    {
+        VirtAddr start = 0;
+        VirtAddr end = 0;
+        std::uint64_t dataPagesFreed = 0;
+        std::uint64_t ptNodesFreed = 0;
+    };
+
+    /**
+     * Destroy VMA @p id (munmap of the whole area): unmap and free its
+     * data frames, prune the page-table nodes left empty under it,
+     * notify observers (releasing any reserved ASAP PT regions) and
+     * drop the VMA. The caller owns TLB/PWC shootdown for the returned
+     * range — the address space is pure OS state.
+     */
+    UnmapCounts munmapVma(std::uint64_t id);
+
+    /**
+     * madvise(MADV_DONTNEED): give back the frames of [@p start,
+     * start + nPages * 4KB) and prune emptied PT nodes, keeping the VMA
+     * (and any ASAP region, whose slots refill in place on refault).
+     * The range must lie inside one VMA. Caller handles shootdown.
+     */
+    UnmapCounts madviseFree(VirtAddr start, std::uint64_t nPages);
+
     struct TouchResult
     {
         bool faulted = false;
@@ -117,6 +143,8 @@ class AddressSpace : public FrameRelocator
   private:
     VirtAddr pickMmapBase(std::uint64_t bytes);
     void notifyCreated(const Vma &vma);
+    /** Unmap + free the mapped pages of [start, end) within @p vma. */
+    UnmapCounts unmapRange(Vma &vma, VirtAddr start, VirtAddr end);
 
     BuddyAllocator &frames_;
     AddressSpaceConfig config_;

@@ -1,6 +1,7 @@
 #include "os/buddy_allocator.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -250,6 +251,25 @@ BuddyAllocator::churn(Rng &rng, std::uint64_t ops, unsigned maxChurnOrder,
     }
     for (const auto &[pfn, order] : transient)
         freeBlock(pfn, order);
+}
+
+std::uint64_t
+BuddyAllocator::releaseChurn(double fraction)
+{
+    panic_if(fraction < 0.0 || fraction > 1.0,
+             "releaseChurn fraction %f out of [0, 1]", fraction);
+    const auto release = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(churnHeld_.size()),
+                         std::ceil(fraction *
+                                   static_cast<double>(churnHeld_.size()))));
+    std::uint64_t frames = 0;
+    for (std::size_t i = 0; i < release; ++i) {
+        const auto [pfn, order] = churnHeld_.back();
+        churnHeld_.pop_back();
+        freeBlock(pfn, order);
+        frames += std::uint64_t{1} << order;
+    }
+    return frames;
 }
 
 int

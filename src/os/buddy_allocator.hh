@@ -83,6 +83,18 @@ class BuddyAllocator
     void churn(Rng &rng, std::uint64_t ops, unsigned maxChurnOrder = 4,
                double holdFraction = 0.5);
 
+    /**
+     * Return churn-held blocks to the free lists: the co-tenant whose
+     * long-lived data churn() modeled departs mid-run (dyn subsystem).
+     * Releases the most recently held ceil(fraction * held) blocks
+     * (LIFO — the youngest tenant leaves first) and coalesces them.
+     * @return the number of frames freed.
+     */
+    std::uint64_t releaseChurn(double fraction = 1.0);
+
+    /** Blocks currently held by churn(). */
+    std::uint64_t churnHeldBlocks() const { return churnHeld_.size(); }
+
     std::uint64_t totalFrames() const { return totalFrames_; }
     std::uint64_t freeFrames() const { return freeFrames_; }
     std::uint64_t allocatedFrames() const
@@ -123,7 +135,7 @@ class BuddyAllocator
     /** Per-frame free flag; authoritative for range queries. */
     std::vector<std::uint8_t> freeBitmap_;
 
-    /** Blocks held live by churn() (never freed). */
+    /** Blocks held live by churn() until releaseChurn() returns them. */
     std::vector<std::pair<Pfn, unsigned>> churnHeld_;
 };
 

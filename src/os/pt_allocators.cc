@@ -137,6 +137,45 @@ AsapPtAllocator::onVmaGrown(const Vma &vma, VirtAddr oldEnd,
     }
 }
 
+void
+AsapPtAllocator::onVmaRemoved(const Vma &vma)
+{
+    if (!vma.prefetchable)
+        return;
+    for (const unsigned level : targetLevels_) {
+        auto &regions = regionsByLevel_[level];
+        auto it = regions.find(alignDown(vma.start, nodeSpan(level)));
+        if (it == regions.end() || it->second.vmaId != vma.id)
+            continue;
+        Region &region = it->second;
+        if (region.valid() && region.backedSlots > 0) {
+            // The caller prunes the VMA's PT nodes first, so every
+            // handed-out region frame has come back through
+            // freeNodeFrame (which leaves region frames reserved in the
+            // buddy). A frame still outstanding means a node outside
+            // the prune survived — with 1GiB-aligned VMAs that cannot
+            // happen for PL1/PL2 regions; leave the run reserved rather
+            // than free live frames.
+            bool outstanding = false;
+            for (std::uint64_t slot = 0;
+                 slot < region.backedSlots && !outstanding; ++slot) {
+                outstanding = regionFrames_.count(region.basePfn + slot);
+            }
+            if (outstanding) {
+                warn("ASAP region of VMA %lu still has live PT nodes; "
+                     "leaking its reservation",
+                     static_cast<unsigned long>(vma.id));
+            } else {
+                buddy_.freeRange(region.basePfn, region.backedSlots);
+                releasedFrames_ += region.backedSlots;
+                reservedFrames_ -= region.backedSlots;
+            }
+        }
+        regions.erase(it);
+        ++regionsReleased_;
+    }
+}
+
 AsapPtAllocator::Region *
 AsapPtAllocator::findRegion(VirtAddr va, unsigned level)
 {

@@ -59,6 +59,12 @@ class VmaObserver
     virtual void
     onVmaGrown(const Vma &vma, VirtAddr oldEnd, FrameRelocator *relocator)
     {}
+    /**
+     * The VMA is being destroyed (munmap, dyn subsystem). Fired after
+     * its page-table nodes have been pruned, so reserved PT regions can
+     * release their physical runs in one piece.
+     */
+    virtual void onVmaRemoved(const Vma &vma) {}
 };
 
 /** Linux-style placement: nodes scattered by the buddy allocator. */
@@ -146,6 +152,7 @@ class AsapPtAllocator : public PtNodeAllocator, public VmaObserver
     void onVmaCreated(const Vma &vma) override;
     void onVmaGrown(const Vma &vma, VirtAddr oldEnd,
                     FrameRelocator *relocator) override;
+    void onVmaRemoved(const Vma &vma) override;
 
     /** Region for (va, level); nullptr if none/invalid. */
     const Region *regionFor(VirtAddr va, unsigned level) const;
@@ -170,6 +177,10 @@ class AsapPtAllocator : public PtNodeAllocator, public VmaObserver
     std::uint64_t failedReservations() const { return failedReservations_; }
     std::uint64_t holesCreatedByGrowth() const { return growthHoles_; }
     std::uint64_t framesRelocatedForGrowth() const { return relocated_; }
+    /** Regions torn down by VMA removal, and the frames they returned
+     *  (dyn subsystem; coverage-loss accounting). */
+    std::uint64_t regionsReleased() const { return regionsReleased_; }
+    std::uint64_t releasedFrames() const { return releasedFrames_; }
 
   private:
     bool isTargetLevel(unsigned level) const;
@@ -194,6 +205,8 @@ class AsapPtAllocator : public PtNodeAllocator, public VmaObserver
     std::uint64_t failedReservations_ = 0;
     std::uint64_t growthHoles_ = 0;
     std::uint64_t relocated_ = 0;
+    std::uint64_t regionsReleased_ = 0;
+    std::uint64_t releasedFrames_ = 0;
 };
 
 } // namespace asap

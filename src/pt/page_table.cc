@@ -18,8 +18,10 @@ PageTable::PageTable(PtNodeAllocator &allocator, unsigned levels)
 
 PageTable::~PageTable()
 {
-    for (const PtNode &node : slab_)
-        allocator_.freeNodeFrame(node.level, node.pfn);
+    for (const PtNode &node : slab_) {
+        if (node.pfn != invalidPfn)
+            allocator_.freeNodeFrame(node.level, node.pfn);
+    }
 }
 
 PtNodeIndex
@@ -101,6 +103,55 @@ PageTable::unmap(VirtAddr va)
     }
 }
 
+void
+PageTable::releaseNode(PtNodeIndex index)
+{
+    PtNode &node = slab_[index];
+    panic_if(node.populated != 0, "releasing a populated PT node");
+    pfnToIndex_.erase(node.pfn);
+    allocator_.freeNodeFrame(node.level, node.pfn);
+    node.pfn = invalidPfn;
+    ++deadNodes_;
+}
+
+std::uint64_t
+PageTable::pruneNode(PtNodeIndex nodeIndex, VirtAddr nodeBase,
+                     VirtAddr start, VirtAddr end)
+{
+    // No createNode runs during a prune, so the slab cannot reallocate
+    // under these references.
+    PtNode &node = slab_[nodeIndex];
+    const unsigned level = node.level;
+    const std::uint64_t span = levelSpan(level);
+    std::uint64_t freed = 0;
+    for (unsigned slot = 0; slot < entriesPerNode; ++slot) {
+        const VirtAddr childBase = nodeBase + slot * span;
+        if (childBase >= end || childBase + span <= start)
+            continue;
+        Pte &entry = node.entries[slot];
+        if (!entry.present() || entry.isLeaf(level))
+            continue;
+        const PtNodeIndex childIndex = node.children[slot];
+        freed += pruneNode(childIndex, childBase, start, end);
+        if (slab_[childIndex].populated == 0) {
+            entry.clear();
+            node.children[slot] = invalidPtNodeIndex;
+            --node.populated;
+            releaseNode(childIndex);
+            ++freed;
+        }
+    }
+    return freed;
+}
+
+std::uint64_t
+PageTable::pruneRange(VirtAddr start, VirtAddr end)
+{
+    if (start >= end)
+        return 0;
+    return pruneNode(rootIndex_, 0, start, end);
+}
+
 std::optional<Translation>
 PageTable::lookup(VirtAddr va) const
 {
@@ -173,7 +224,7 @@ PageTable::nodeCountAtLevel(unsigned level) const
 {
     std::uint64_t count = 0;
     for (const PtNode &node : slab_) {
-        if (node.level == level)
+        if (node.level == level && node.pfn != invalidPfn)
             ++count;
     }
     return count;
@@ -184,8 +235,10 @@ PageTable::nodePfns() const
 {
     std::vector<Pfn> pfns;
     pfns.reserve(slab_.size());
-    for (const PtNode &node : slab_)
-        pfns.push_back(node.pfn);
+    for (const PtNode &node : slab_) {
+        if (node.pfn != invalidPfn)
+            pfns.push_back(node.pfn);
+    }
     std::sort(pfns.begin(), pfns.end());
     return pfns;
 }

@@ -128,6 +128,19 @@ class PageTable
     /** Remove a mapping; intermediate nodes are retained (as in Linux). */
     void unmap(VirtAddr va);
 
+    /**
+     * Free every node left empty under [@p start, @p end): the
+     * free_pgtables() pass of munmap (dyn subsystem). Only nodes whose
+     * span intersects the range are visited, and only fully unpopulated
+     * ones are freed (their frame goes back to the PtNodeAllocator and
+     * the parent entry is cleared); the root always survives. The slab
+     * entry is retained but marked dead (pfn = invalidPfn) so live
+     * indices stay stable — callers must shoot down any PWC entries
+     * covering the range, since cached child indices into freed nodes
+     * are now stale. @return the number of nodes freed.
+     */
+    std::uint64_t pruneRange(VirtAddr start, VirtAddr end);
+
     /** Functional lookup, no latency modeling. */
     std::optional<Translation> lookup(VirtAddr va) const;
 
@@ -185,8 +198,11 @@ class PageTable
     /** Mark the leaf entry accessed/dirty (OS metadata path). */
     void setAccessed(VirtAddr va, bool dirty = false);
 
-    /** Total number of PT node pages (Table 2 "PT page count"). */
-    std::uint64_t nodeCount() const { return slab_.size(); }
+    /** Total number of *live* PT node pages (Table 2 "PT page count"). */
+    std::uint64_t nodeCount() const { return slab_.size() - deadNodes_; }
+
+    /** Slab entries freed by pruneRange (diagnostics). */
+    std::uint64_t deadNodeCount() const { return deadNodes_; }
 
     /** Node pages at one level. */
     std::uint64_t nodeCountAtLevel(unsigned level) const;
@@ -203,14 +219,20 @@ class PageTable
 
   private:
     PtNodeIndex createNode(unsigned level, VirtAddr va);
+    std::uint64_t pruneNode(PtNodeIndex nodeIndex, VirtAddr nodeBase,
+                            VirtAddr start, VirtAddr end);
+    void releaseNode(PtNodeIndex index);
 
     PtNodeAllocator &allocator_;
     unsigned levels_;
     PtNodeIndex rootIndex_ = invalidPtNodeIndex;
 
-    /** All nodes, in creation order. Indices are stable; the vector only
-     *  grows (node frames are freed in the destructor alone). */
+    /** All nodes, in creation order. Indices are stable; the vector
+     *  only grows. Entries freed by pruneRange stay in place, marked
+     *  dead by pfn == invalidPfn (their frames are returned early);
+     *  everything else is freed in the destructor. */
     std::vector<PtNode> slab_;
+    std::uint64_t deadNodes_ = 0;
 
     /** pfn -> slab index, maintained for the frame-keyed interface. */
     std::unordered_map<Pfn, PtNodeIndex> pfnToIndex_;

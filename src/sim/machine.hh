@@ -106,6 +106,30 @@ class Machine
      *  growth experiments). */
     void refreshDescriptors();
 
+    /** Entries dropped by a targeted invalidation, per structure. */
+    struct InvalidateCounts
+    {
+        std::uint64_t tlb = 0;
+        std::uint64_t pwc = 0;
+    };
+
+    /**
+     * Targeted translation shootdown of the (guest-)virtual range
+     * [@p start, @p end): TLBs and the application-dimension PWCs. The
+     * OS issues this on munmap / madvise(DONTNEED) (dyn subsystem)
+     * instead of a full flush. Host-dimension structures are untouched:
+     * guest-side unmaps never invalidate host translations of
+     * guest-physical memory (the hypervisor keeps its backing).
+     */
+    InvalidateCounts
+    invalidateRange(VirtAddr start, VirtAddr end)
+    {
+        InvalidateCounts counts;
+        counts.tlb = tlb_.invalidateRange(start, end);
+        counts.pwc = appPwc_.invalidateRange(start, end);
+        return counts;
+    }
+
     MemoryHierarchy &mem() { return mem_; }
     TlbHierarchy &tlb() { return tlb_; }
     PageWalkCaches &appPwc() { return appPwc_; }

@@ -1,5 +1,8 @@
 #include "sim/simulator.hh"
 
+#include "dyn/dynamics.hh"
+#include "os/pt_allocators.hh"
+
 namespace asap
 {
 
@@ -28,9 +31,19 @@ Simulator::runPhase(std::uint64_t accesses, const RunConfig &config,
 
     VirtAddr vas[accessBatch];
     while (accesses > 0) {
-        const std::size_t batch =
+        std::size_t batch =
             accesses < accessBatch ? static_cast<std::size_t>(accesses)
                                    : accessBatch;
+        if (dyn_) {
+            // Fire every event due at this point of the access stream,
+            // then cap the batch so the next one lands exactly on the
+            // next event's offset. With no event stream (the static
+            // path) none of this runs and batching is unchanged.
+            dyn_->applyDue(consumed_, stats.dyn);
+            const std::uint64_t gap = dyn_->gapUntilNext(consumed_);
+            if (gap < batch)
+                batch = static_cast<std::size_t>(gap);
+        }
         accesses -= batch;
         // The generator draws only from rng and never observes machine
         // state, so producing a batch up front leaves every simulated
@@ -106,6 +119,7 @@ Simulator::runPhase(std::uint64_t accesses, const RunConfig &config,
                     machine_.corunnerAccess(corunnerRng);
             }
         }
+        consumed_ += batch;
     }
 }
 
@@ -120,6 +134,26 @@ Simulator::run(const RunConfig &config)
     RunStats stats;
     Cycles now = 0;
 
+    // OS dynamics: a workload may carry an event stream (churn
+    // profiles, replayed dynamic traces). Events fire between batches
+    // at exact access offsets; with no stream the loop is untouched.
+    OsDynamics dynamics(workload_.events(), system_, machine_);
+    dyn_ = dynamics.active() ? &dynamics : nullptr;
+    consumed_ = 0;
+
+    // ASAP region-lifecycle counters are reported as this run's deltas.
+    const AsapPtAllocator *appAllocator = system_.appAsapAllocator();
+    struct RegionSnapshot
+    {
+        std::uint64_t holes, relocated, released, releasedFrames;
+    } before{};
+    if (appAllocator) {
+        before = {appAllocator->holesCreatedByGrowth(),
+                  appAllocator->framesRelocatedForGrowth(),
+                  appAllocator->regionsReleased(),
+                  appAllocator->releasedFrames()};
+    }
+
     if (config.perfectTlb) {
         runPhase<false, true>(config.warmupAccesses, config, cpa, rng,
                               corunnerRng, now, stats);
@@ -130,6 +164,23 @@ Simulator::run(const RunConfig &config)
                                corunnerRng, now, stats);
         runPhase<true, false>(config.measureAccesses, config, cpa, rng,
                               corunnerRng, now, stats);
+    }
+
+    // Events scheduled exactly at the end of the stream still fire
+    // (e.g. a final tenant departure).
+    if (dyn_)
+        dyn_->applyDue(consumed_, stats.dyn);
+    dyn_ = nullptr;
+
+    if (appAllocator) {
+        stats.dyn.regionGrowthHoles =
+            appAllocator->holesCreatedByGrowth() - before.holes;
+        stats.dyn.regionRelocations =
+            appAllocator->framesRelocatedForGrowth() - before.relocated;
+        stats.dyn.regionsReleased =
+            appAllocator->regionsReleased() - before.released;
+        stats.dyn.regionFramesReleased =
+            appAllocator->releasedFrames() - before.releasedFrames;
     }
 
     stats.totalCycles =

@@ -19,12 +19,15 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "dyn/os_events.hh"
 #include "sim/machine.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
 
 namespace asap
 {
+
+class OsDynamics;
 
 struct RunConfig
 {
@@ -70,6 +73,10 @@ struct RunStats
     /** Prefetch-engine effectiveness (zero when ASAP is off). */
     AsapEngineStats appAsap;
     AsapEngineStats hostAsap;
+
+    /** OS-dynamics activity (all zero for static runs; see
+     *  dyn/os_events.hh). */
+    OsDynStats dyn;
 
     double
     avgWalkLatency() const
@@ -132,6 +139,13 @@ class Simulator
     Machine &machine_;
     Workload &workload_;
     VirtAddr lastVa_ = ~VirtAddr{0};
+
+    /** Live only during run() when the workload carries an OS-event
+     *  stream; null on the (unchanged) static path. */
+    OsDynamics *dyn_ = nullptr;
+    /** Accesses consumed so far this run (warmup + measure) — the
+     *  clock OS events fire against. */
+    std::uint64_t consumed_ = 0;
 };
 
 } // namespace asap

@@ -109,6 +109,35 @@ System::extendVma(std::uint64_t id, std::uint64_t bytes)
     return appSpace_->extendVma(id, bytes);
 }
 
+AddressSpace::UnmapCounts
+System::munmap(std::uint64_t id)
+{
+    if (config_.virtualized && appAsap_) {
+        // Forget the hypervisor's contiguous-backing bases for this
+        // VMA's guest PT regions before the allocator erases them. The
+        // host pages themselves stay mapped and pinned: the hypervisor
+        // holds guest-physical backing until the VM dies (no ballooning
+        // modeled), it merely stops advertising a prefetch base.
+        for (const AsapPtAllocator::Region *region : appAsap_->regions()) {
+            if (region->vmaId == id && region->valid())
+                guestRegionHostBase_.erase(region->basePfn);
+        }
+    }
+    return appSpace_->munmapVma(id);
+}
+
+AddressSpace::UnmapCounts
+System::madviseFree(VirtAddr start, std::uint64_t nPages)
+{
+    return appSpace_->madviseFree(start, nPages);
+}
+
+std::uint64_t
+System::releaseMachineChurn(double fraction)
+{
+    return machineFrames_->releaseChurn(fraction);
+}
+
 void
 System::backGuestAsapRegions(std::uint64_t vmaId)
 {
@@ -143,6 +172,35 @@ System::backGuestAsapRegions(std::uint64_t vmaId)
                 guestRegionHostBase_.emplace(region->basePfn, hostBase);
             else
                 warn("2MB-backed guest region not host-contiguous; "
+                     "guest prefetch disabled for it");
+            continue;
+        }
+
+        // Mid-run tenant arrivals (dyn subsystem) can reserve guest
+        // frames whose gPAs the hypervisor already backed for an
+        // earlier life (guest frees never tear down host mappings). A
+        // fresh contiguous run cannot be carved over those, so fall
+        // back to demand backing and publish a base only if the
+        // existing mapping happens to be contiguous.
+        bool alreadyBacked = false;
+        for (std::uint64_t off = 0; off < bytes && !alreadyBacked;
+             off += pageSize) {
+            alreadyBacked = hostSpace_->translate(gpaStart + off)
+                                .has_value();
+        }
+        if (alreadyBacked) {
+            for (std::uint64_t off = 0; off < bytes; off += pageSize)
+                ensureBacked(gpaStart + off);
+            const PhysAddr hostBase = hostPhysOf(gpaStart);
+            bool contiguous = true;
+            for (std::uint64_t off = 0; off < bytes && contiguous;
+                 off += pageSize) {
+                contiguous = hostPhysOf(gpaStart + off) == hostBase + off;
+            }
+            if (contiguous)
+                guestRegionHostBase_.emplace(region->basePfn, hostBase);
+            else
+                warn("recycled guest region not host-contiguous; "
                      "guest prefetch disabled for it");
             continue;
         }

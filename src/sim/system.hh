@@ -107,6 +107,26 @@ class System : public HostBacking
     bool extendVma(std::uint64_t id, std::uint64_t bytes);
 
     /**
+     * Destroy an application VMA mid-run (dyn subsystem): data frames
+     * and emptied PT nodes return to their allocators, reserved ASAP PT
+     * regions release their physical runs, and (under virtualization)
+     * the hypervisor forgets the region's contiguous-backing bases. The
+     * machine-side shootdown (Machine::invalidateRange over the
+     * returned range) is the caller's job — the System is OS state.
+     */
+    AddressSpace::UnmapCounts munmap(std::uint64_t id);
+
+    /** madvise(MADV_DONTNEED) on [start, start + nPages * 4KB): frames
+     *  and emptied PT nodes are freed, the VMA (and any ASAP region)
+     *  stays, and later touches refault. Caller handles shootdown. */
+    AddressSpace::UnmapCounts madviseFree(VirtAddr start,
+                                          std::uint64_t nPages);
+
+    /** Return @p fraction of the machine's churn-held blocks (tenant
+     *  departure on a long-uptime host). @return frames released. */
+    std::uint64_t releaseMachineChurn(double fraction);
+
+    /**
      * Demand-fault @p va (and, under virtualization, back the data page
      * and its guest PT nodes in host memory). Used both for prefaulting
      * and for servicing faults during simulation.

@@ -24,6 +24,23 @@ Tlb::flush()
     misses_ = 0;
 }
 
+std::uint64_t
+Tlb::invalidateRange(VirtAddr start, VirtAddr end)
+{
+    return entries_.invalidateWhere(
+        [this, start, end](std::uint64_t key, const Payload &) {
+            // Stored keys pack the leaf level into the low two bits
+            // (see keyOf); recover the page span from them.
+            const auto level = static_cast<unsigned>(key & 3);
+            const VirtAddr base = (key >> 2) << levelShift(level);
+            const bool drop =
+                base < end && base + levelSpan(level) > start;
+            if (drop)
+                --residentPerLevel_[level];
+            return drop;
+        });
+}
+
 ClusteredTlb::ClusteredTlb(const TlbConfig &config) : config_(config)
 {
     fatal_if(config_.ways == 0 || config_.entries % config_.ways != 0,
@@ -97,6 +114,19 @@ ClusteredTlb::flush()
     filledSubPages_ = 0;
 }
 
+std::uint64_t
+ClusteredTlb::invalidateRange(VirtAddr start, VirtAddr end)
+{
+    constexpr std::uint64_t clusterSpan = clusterPages * pageSize;
+    return entries_.invalidateWhere(
+        [start, end](std::uint64_t key, const Payload &) {
+            // Keys are keyFor-biased cluster tags (vpn >> clusterShift).
+            const std::uint64_t tag = key - 1;
+            const VirtAddr base = (tag << clusterShift) << pageShift;
+            return base < end && base + clusterSpan > start;
+        });
+}
+
 double
 ClusteredTlb::averageClusterOccupancy() const
 {
@@ -140,6 +170,17 @@ TlbHierarchy::flush()
     else
         l2_->flush();
     lookups_ = 0;
+}
+
+std::uint64_t
+TlbHierarchy::invalidateRange(VirtAddr start, VirtAddr end)
+{
+    std::uint64_t dropped = l1_.invalidateRange(start, end);
+    if (clustered_)
+        dropped += clustered_->invalidateRange(start, end);
+    else
+        dropped += l2_->invalidateRange(start, end);
+    return dropped;
 }
 
 } // namespace asap

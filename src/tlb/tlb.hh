@@ -115,6 +115,14 @@ class Tlb
     /** Drop everything (context switch / scenario reset). */
     void flush();
 
+    /**
+     * Targeted shootdown: drop every translation whose page overlaps
+     * [@p start, @p end) — the INVLPG loop an OS issues on munmap /
+     * madvise(DONTNEED) (dyn subsystem), instead of a full flush.
+     * Off the hot path (full scan). @return entries dropped.
+     */
+    std::uint64_t invalidateRange(VirtAddr start, VirtAddr end);
+
     const TlbConfig &config() const { return config_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -205,6 +213,12 @@ class ClusteredTlb
 
     void flush();
 
+    /** Targeted shootdown: drop every entry whose 8-page cluster
+     *  overlaps [@p start, @p end). Dropping the whole cluster entry
+     *  (rather than clearing sub-page bits) mirrors hardware, where
+     *  INVLPG invalidates the covering coalesced entry. */
+    std::uint64_t invalidateRange(VirtAddr start, VirtAddr end);
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     /** Mean number of valid sub-pages per filled entry (diagnostic). */
@@ -291,6 +305,10 @@ class TlbHierarchy
               const PageTable *pt = nullptr);
 
     void flush();
+
+    /** Targeted shootdown of [@p start, @p end) across both levels.
+     *  @return total entries dropped. */
+    std::uint64_t invalidateRange(VirtAddr start, VirtAddr end);
 
     std::uint64_t l1Misses() const { return l1_.misses(); }
     std::uint64_t l2Misses() const

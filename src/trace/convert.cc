@@ -103,11 +103,18 @@ convertToV2(const std::string &inPath, const std::string &outPath,
     const std::string ops(
         reinterpret_cast<const char *>(src.opsBegin()),
         static_cast<std::size_t>(src.opsEnd() - src.opsBegin()));
+    // A dynamic trace's OS-event stream survives re-containering
+    // verbatim (event offsets are access counts, invariant under
+    // re-chunking; sampling drops accesses, not events).
+    const std::string eventOps(
+        reinterpret_cast<const char *>(src.eventOpsBegin()),
+        static_cast<std::size_t>(src.eventOpsEnd() -
+                                 src.eventOpsBegin()));
 
     // header() carries representedAccesses from the source, so
     // re-containering a sampled trace keeps the original total and
     // RunStats scaling stays correct.
-    Trc2Writer writer(outPath, src.header(), ops, options);
+    Trc2Writer writer(outPath, src.header(), ops, options, eventOps);
     TraceCursor cursor(src);
     for (std::uint64_t i = 0; i < src.header().accessCount; ++i)
         writer.add(cursor.next());

@@ -51,6 +51,13 @@ constexpr std::uint8_t opTouchRun = 1;
 /** Per-chunk storage codecs (ASAPTRC2). */
 constexpr std::uint8_t chunkCodecRaw = 0;
 constexpr std::uint8_t chunkCodecDeflate = 1;
+/**
+ * Not an address chunk: the payload is a serialized OS-event stream
+ * (dyn/os_events.hh) that a dynamic run fires at access offsets during
+ * replay. At most one per file, accesses = 0; readers lift it out of
+ * the address-chunk list, so the cursor never sees it.
+ */
+constexpr std::uint8_t chunkCodecEventOps = 2;
 
 /** Upper bound accepted for embedded string lengths (names). */
 constexpr std::uint32_t maxTraceStringLen = 4096;

@@ -13,11 +13,13 @@ registry()
 {
     // Built-ins are referenced explicitly (no self-registering statics:
     // a static library would drop the unreferenced object files).
-    // Detection order runs strictest sniff first: every 16-byte
-    // drmemtrace file is also a whole number of 64-byte ChampSim
-    // records, so ChampSim's looser check must come last.
+    // Detection order runs strictest sniff first: gem5's magic is
+    // unambiguous; every 16-byte drmemtrace file is also a whole
+    // number of 64-byte ChampSim records, so ChampSim's looser check
+    // must come last.
     static std::vector<const TraceImporter *> importers = {
-        &textImporter(), &drmemtraceImporter(), &champsimImporter()};
+        &gem5Importer(), &textImporter(), &drmemtraceImporter(),
+        &champsimImporter()};
     return importers;
 }
 

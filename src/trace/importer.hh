@@ -89,10 +89,11 @@ const TraceImporter *detectImporter(const std::uint8_t *data,
 /** Register an additional importer (not owned; must outlive use). */
 void registerImporter(const TraceImporter *importer);
 
-/** The three built-in parsers (defined in importer_*.cc). */
+/** The built-in parsers (defined in importer_*.cc). */
 const TraceImporter &textImporter();
 const TraceImporter &champsimImporter();
 const TraceImporter &drmemtraceImporter();
+const TraceImporter &gem5Importer();
 
 } // namespace asap
 

@@ -180,6 +180,22 @@ TraceFile::loadV2(ByteReader &in)
         fatal_if(expectedOffset > indexOffset,
                  "%s: chunk %lu overruns the index", p,
                  static_cast<unsigned long>(i));
+        if (chunk.codec == chunkCodecEventOps) {
+            // OS-event stream payload: lifted out of the address-chunk
+            // list so the cursor never decodes it.
+            fatal_if(chunk.accesses != 0,
+                     "%s: event-op chunk %lu claims accesses", p,
+                     static_cast<unsigned long>(i));
+            fatal_if(chunk.storedBytes != chunk.rawBytes ||
+                         chunk.storedBytes == 0,
+                     "%s: malformed event-op chunk %lu", p,
+                     static_cast<unsigned long>(i));
+            fatal_if(eventBytes_ != 0,
+                     "%s: more than one event-op chunk", p);
+            eventOffset_ = chunk.offset;
+            eventBytes_ = chunk.storedBytes;
+            continue;
+        }
         fatal_if(chunk.accesses == 0, "%s: empty chunk %lu", p,
                  static_cast<unsigned long>(i));
         fatal_if(chunk.rawBytes < chunk.accesses,

@@ -120,6 +120,14 @@ class TraceFile
     { return file_.data() + opsOffset_; }
     const std::uint8_t *opsEnd() const { return opsBegin() + opsBytes_; }
 
+    /** Serialized OS-event stream (dyn/os_events.hh) from the v2
+     *  event-op chunk; empty for static traces and all v1 files. */
+    bool hasEventOps() const { return eventBytes_ != 0; }
+    const std::uint8_t *eventOpsBegin() const
+    { return file_.data() + eventOffset_; }
+    const std::uint8_t *eventOpsEnd() const
+    { return eventOpsBegin() + eventBytes_; }
+
     /** v1: raw address-stream bytes [begin, end). */
     const std::uint8_t *streamBegin() const
     { return file_.data() + streamOffset_; }
@@ -146,9 +154,11 @@ class TraceFile
     TraceHeader header_;
     std::uint64_t opsOffset_ = 0;
     std::uint64_t opsBytes_ = 0;
+    std::uint64_t eventOffset_ = 0;     ///< v2 event-op chunk payload
+    std::uint64_t eventBytes_ = 0;
     std::uint64_t streamOffset_ = 0;    ///< v1 only
     std::uint64_t streamBytes_ = 0;     ///< v1 only
-    std::vector<TraceChunk> chunks_;    ///< v2 only
+    std::vector<TraceChunk> chunks_;    ///< v2 only, address chunks
 };
 
 /**

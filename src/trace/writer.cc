@@ -11,7 +11,8 @@ namespace asap
 
 Trc2Writer::Trc2Writer(const std::string &path, const TraceHeader &meta,
                        const std::string &ops,
-                       const Trc2Options &options)
+                       const Trc2Options &options,
+                       const std::string &eventOps)
     : path_(path), options_(options),
       representedOverride_(meta.representedAccesses)
 {
@@ -52,6 +53,24 @@ Trc2Writer::Trc2Writer(const std::string &path, const TraceHeader &meta,
     file_ = std::fopen(path.c_str(), "wb");
     fatal_if(!file_, "cannot write trace %s", path.c_str());
     writeOrDie(header.data(), header.size());
+
+    if (!eventOps.empty()) {
+        // The OS-event stream rides as the first chunk, tagged by its
+        // codec; it contributes no accesses and is stored raw (event
+        // streams are tiny next to the address stream).
+        fatal_if(eventOps.size() >
+                     std::numeric_limits<std::uint32_t>::max(),
+                 "%s: OS-event stream overflows the u32 index field",
+                 path.c_str());
+        TraceChunk chunk;
+        chunk.offset = fileOffset_;
+        chunk.storedBytes = static_cast<std::uint32_t>(eventOps.size());
+        chunk.rawBytes = chunk.storedBytes;
+        chunk.accesses = 0;
+        chunk.codec = chunkCodecEventOps;
+        chunks_.push_back(chunk);
+        writeOrDie(eventOps.data(), eventOps.size());
+    }
 
     chunkBuf_.reserve(options_.chunkAccesses * 4);
 }

@@ -57,10 +57,14 @@ class Trc2Writer
      * non-zero, overrides the fed-access count in the header — used
      * when re-containering an already-sampled trace, whose fed stream
      * is itself a sample of the original capture. @p ops is the
-     * setup-op stream (SetupCapture encoding).
+     * setup-op stream (SetupCapture encoding). @p eventOps, when
+     * non-empty, is a serialized OsEventStream stored as an event-op
+     * chunk (chunkCodecEventOps) so dynamic runs replay their OS
+     * events bit-identically.
      */
     Trc2Writer(const std::string &path, const TraceHeader &meta,
-               const std::string &ops, const Trc2Options &options = {});
+               const std::string &ops, const Trc2Options &options = {},
+               const std::string &eventOps = {});
     ~Trc2Writer();
 
     Trc2Writer(const Trc2Writer &) = delete;

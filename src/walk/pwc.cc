@@ -64,6 +64,25 @@ PageWalkCaches::insert(unsigned level, VirtAddr va, Pfn childPfn,
     cache.touch(slot.way);
 }
 
+std::uint64_t
+PageWalkCaches::invalidateRange(VirtAddr start, VirtAddr end)
+{
+    std::uint64_t dropped = 0;
+    for (unsigned level = 2; level <= ptLevels_; ++level) {
+        SetAssoc<Payload> &cache = caches_[level];
+        if (cache.empty())
+            continue;
+        dropped += cache.invalidateWhere(
+            [level, start, end](std::uint64_t key, const Payload &) {
+                // Keys are keyFor-biased tags (va >> levelShift(level));
+                // an entry covers one level-L PT entry's span.
+                const VirtAddr base = (key - 1) << levelShift(level);
+                return base < end && base + levelSpan(level) > start;
+            });
+    }
+    return dropped;
+}
+
 void
 PageWalkCaches::flush()
 {

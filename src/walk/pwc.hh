@@ -95,6 +95,15 @@ class PageWalkCaches
     /** Invalidate everything (context switch / scenario reset). */
     void flush();
 
+    /**
+     * Targeted shootdown: drop every cached entry whose covered VA span
+     * overlaps [@p start, @p end). Required on munmap/madvise (dyn
+     * subsystem): a level-L entry points at (and caches the slab index
+     * of) the child node covering levelSpan(L) bytes, which PT pruning
+     * may have freed. @return entries dropped across all levels.
+     */
+    std::uint64_t invalidateRange(VirtAddr start, VirtAddr end);
+
     Cycles latency() const { return config_.latency; }
 
     std::uint64_t hits() const { return hits_; }

@@ -1,0 +1,182 @@
+#include "workloads/dynamic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/system.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+/** Deterministic string hash (std::hash is not pinned across library
+ *  versions; event streams must be). */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** A dataset VMA as the profile generators see it (layout at setup). */
+struct DataVma
+{
+    VirtAddr start = 0;
+    std::uint64_t pages = 0;
+};
+
+/** Bursts generated per stream: enough to outlast a full-length run
+ *  at the default period; events past the run's end never fire. */
+constexpr unsigned dynBursts = 64;
+
+constexpr std::uint64_t defaultPeriod = 40'000;
+
+} // namespace
+
+WorkloadSpec
+withDynamics(WorkloadSpec spec, const std::string &profile,
+             double intensity, std::uint64_t periodAccesses)
+{
+    spec.dynProfile = profile;
+    spec.dynIntensity = intensity;
+    spec.dynPeriodAccesses = periodAccesses;
+    return spec;
+}
+
+OsEventStream
+buildDynamicEvents(const WorkloadSpec &spec, const System &system)
+{
+    const bool tenants = spec.dynProfile == "tenants";
+    fatal_if(!tenants && spec.dynProfile != "server",
+             "%s: unknown dynamics profile '%s'", spec.name.c_str(),
+             spec.dynProfile.c_str());
+    const double intensity = spec.dynIntensity;
+    fatal_if(intensity <= 0.0, "%s: non-positive dynamics intensity",
+             spec.name.c_str());
+    const std::uint64_t period = spec.dynPeriodAccesses
+                                     ? spec.dynPeriodAccesses
+                                     : defaultPeriod;
+
+    std::vector<DataVma> dataVmas;
+    for (const Vma *vma : system.appSpace().vmas().all()) {
+        if (vma->prefetchable)
+            dataVmas.push_back({vma->start, vma->numPages()});
+    }
+    fatal_if(dataVmas.empty(), "%s: dynamics need a dataset VMA",
+             spec.name.c_str());
+
+    // Deterministic in everything the stream may depend on — so a
+    // recorded trace and a live run generate identical events.
+    Rng rng(mix64(fnv1a(spec.dynProfile) ^ fnv1a(spec.name) ^
+                  (spec.residentPages * 0x9e3779b97f4a7c15ull) ^
+                  period ^ static_cast<std::uint64_t>(intensity * 4096)));
+
+    const auto scaled = [intensity](std::uint64_t base) {
+        return std::max<std::uint64_t>(
+            16, static_cast<std::uint64_t>(intensity *
+                                           static_cast<double>(base)));
+    };
+    const std::uint64_t madvisePages = scaled(256);
+    const std::uint64_t tenantPages = scaled(1024);
+    const std::uint64_t extendPages = scaled(64);
+    constexpr unsigned tenantLifetimeBursts = 3;
+
+    OsEventStream stream;
+    std::uint64_t nextHandle = 0;
+    std::vector<std::pair<std::uint64_t, unsigned>> liveTenants;
+
+    for (unsigned burst = 0; burst < dynBursts; ++burst) {
+        const std::uint64_t at = static_cast<std::uint64_t>(burst + 1) *
+                                 period;
+
+        // Server churn: free a slice of the dataset, refault the front
+        // half of it (an arena recycling its pages), on every burst.
+        {
+            const DataVma &vma = dataVmas[rng.below(dataVmas.size())];
+            const std::uint64_t count =
+                std::min(madvisePages, vma.pages);
+            const std::uint64_t maxOffset = vma.pages - count;
+            const std::uint64_t offset =
+                maxOffset == 0 ? 0 : rng.below(maxOffset + 1);
+
+            OsEvent madvise;
+            madvise.atAccess = at;
+            madvise.kind = OsEventKind::MadviseFree;
+            madvise.addr = vma.start + offset * pageSize;
+            madvise.pages = count;
+            stream.add(madvise);
+
+            OsEvent refault;
+            refault.atAccess = at;
+            refault.kind = OsEventKind::MinorFault;
+            refault.addr = madvise.addr;
+            refault.pages = count / 2;
+            stream.add(refault);
+        }
+
+        // Heap growth every 4th burst: in-place ASAP region extension,
+        // relocation, or growth holes (Section 3.7.2).
+        if (burst % 4 == 3) {
+            OsEvent extend;
+            extend.atAccess = at;
+            extend.kind = OsEventKind::Extend;
+            extend.addr = dataVmas.front().start;
+            extend.bytes = extendPages * pageSize;
+            stream.add(extend);
+        }
+
+        // A churn-holding co-tenant departs every 8th burst.
+        if (burst % 8 == 5) {
+            OsEvent release;
+            release.atAccess = at;
+            release.kind = OsEventKind::ReleaseChurn;
+            release.pages = 50;   // permille of held blocks
+            stream.add(release);
+        }
+
+        if (!tenants)
+            continue;
+
+        // Tenant departure first (frees room for the arrival).
+        if (!liveTenants.empty() &&
+            burst - liveTenants.front().second >= tenantLifetimeBursts) {
+            OsEvent munmap;
+            munmap.atAccess = at;
+            munmap.kind = OsEventKind::Munmap;
+            munmap.handle = liveTenants.front().first;
+            stream.add(munmap);
+            liveTenants.erase(liveTenants.begin());
+        }
+
+        // Tenant arrival: mmap a prefetchable VMA (reserving ASAP
+        // regions when the placement policy is ASAP) and prefault its
+        // front half.
+        OsEvent mmap;
+        mmap.atAccess = at;
+        mmap.kind = OsEventKind::Mmap;
+        mmap.handle = nextHandle;
+        mmap.bytes = tenantPages * pageSize;
+        mmap.prefetchable = true;
+        stream.add(mmap);
+
+        OsEvent fault;
+        fault.atAccess = at;
+        fault.kind = OsEventKind::MinorFault;
+        fault.handle = nextHandle;
+        fault.addr = 0;
+        fault.pages = tenantPages / 2;
+        stream.add(fault);
+
+        liveTenants.emplace_back(nextHandle, burst);
+        ++nextHandle;
+    }
+    return stream;
+}
+
+} // namespace asap

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "workloads/dynamic.hh"
 #include "workloads/trace.hh"
 
 namespace asap
@@ -193,6 +194,16 @@ specByName(const std::string &name)
     constexpr const char tracePrefix[] = "trace:";
     if (name.rfind(tracePrefix, 0) == 0)
         return traceSpec(name.substr(sizeof(tracePrefix) - 1));
+    // "<name>@<profile>": the workload with an OS-dynamics profile
+    // attached ("mcf@server", "mc80@tenants") — mid-run churn for any
+    // sweep, figure benchmark or trace recording.
+    const std::size_t at = name.find('@');
+    if (at != std::string::npos) {
+        auto base = specByName(name.substr(0, at));
+        if (!base)
+            return std::nullopt;
+        return withDynamics(std::move(*base), name.substr(at + 1));
+    }
     for (WorkloadSpec &spec : standardSuite()) {
         if (spec.name == name)
             return spec;

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "sim/system.hh"
+#include "workloads/dynamic.hh"
 #include "workloads/trace.hh"
 
 namespace asap
@@ -190,9 +191,15 @@ SyntheticWorkload::generate(Rng &rng)
 std::unique_ptr<Workload>
 makeWorkload(const WorkloadSpec &spec)
 {
+    // A trace-backed spec carries its own event stream (event-op chunk)
+    // — the replay workload surfaces it, so no decoration here.
     if (!spec.tracePath.empty())
         return std::make_unique<TraceReplayWorkload>(spec.tracePath);
-    return std::make_unique<SyntheticWorkload>(spec);
+    auto workload = std::make_unique<SyntheticWorkload>(spec);
+    if (!spec.dynProfile.empty())
+        return std::make_unique<DynamicWorkload>(std::move(workload),
+                                                 spec);
+    return workload;
 }
 
 } // namespace asap

@@ -84,6 +84,20 @@ struct WorkloadSpec
      */
     std::string tracePath;
 
+    /**
+     * OS-dynamics profile (src/workloads/dynamic.hh): "" = static run;
+     * "server" = steady-state server (periodic madvise(DONTNEED) +
+     * refault churn, heap growth, occasional co-tenant departure);
+     * "tenants" = tenant VMAs arriving and departing mid-run on top of
+     * the server churn. The generated event stream is deterministic in
+     * (profile, period, intensity, VMA layout).
+     */
+    std::string dynProfile;
+    /** Accesses between event bursts (0 = profile default). */
+    std::uint64_t dynPeriodAccesses = 0;
+    /** Scales burst sizes: madvised pages, tenant footprints. */
+    double dynIntensity = 1.0;
+
     /** System sizing for this workload's scenarios. */
     std::uint64_t machineMemBytes = 8_GiB;
     std::uint64_t guestMemBytes = 4_GiB;

@@ -41,6 +41,21 @@ recordTrace(const WorkloadSpec &spec, const std::string &path,
     system.setRecorder(nullptr);
     const std::string ops = capture.take();
 
+    // A dynamic workload's OS events ride in the v2 container's
+    // event-op chunk. They are not *applied* while recording — the
+    // address stream never observes machine state, so the recorded
+    // stream equals the one a dynamic run draws — but a replay fires
+    // them at the same offsets, reproducing the dynamic run exactly.
+    const OsEventStream *events = workload->events();
+    std::string eventOps;
+    if (events && !events->empty()) {
+        fatal_if(options.version == trc1Version,
+                 "recordTrace: %s has an OS-event stream; record it "
+                 "with the ASAPTRC2 container (--v2)",
+                 spec.name.c_str());
+        eventOps = events->encode();
+    }
+
     std::unique_ptr<Trc2Writer> v2;
     if (options.version == trc2Version) {
         TraceHeader meta;
@@ -54,7 +69,8 @@ recordTrace(const WorkloadSpec &spec, const std::string &path,
         meta.guestChurnOps = spec.guestChurnOps;
         meta.churnMaxOrder = spec.churnMaxOrder;
         meta.recordSeed = seed;
-        v2 = std::make_unique<Trc2Writer>(path, meta, ops, options.v2);
+        v2 = std::make_unique<Trc2Writer>(path, meta, ops, options.v2,
+                                          eventOps);
     }
 
     // Draw the stream exactly as Simulator::run does: one reset, then

@@ -59,6 +59,7 @@
 #include <memory>
 #include <string>
 
+#include "dyn/os_events.hh"
 #include "trace/trace_file.hh"
 #include "trace/writer.hh"
 #include "workloads/synthetic.hh"
@@ -84,7 +85,13 @@ class TraceReplayWorkload : public Workload
   public:
     explicit TraceReplayWorkload(const std::string &path)
         : trace_(std::make_unique<TraceFile>(path)), cursor_(*trace_)
-    {}
+    {
+        if (trace_->hasEventOps()) {
+            events_ = OsEventStream::decode(trace_->eventOpsBegin(),
+                                            trace_->eventOpsEnd(),
+                                            trace_->path().c_str());
+        }
+    }
 
     const std::string &name() const override
     { return trace_->header().name; }
@@ -113,6 +120,14 @@ class TraceReplayWorkload : public Workload
             out[i] = cursor_.next();
     }
 
+    /** The recorded OS-event stream, if the trace carries one: dynamic
+     *  runs replay their mid-run churn bit-identically. */
+    const OsEventStream *
+    events() const override
+    {
+        return events_.empty() ? nullptr : &events_;
+    }
+
     unsigned computeCyclesPerAccess() const override
     { return trace_->header().cyclesPerAccess; }
 
@@ -135,6 +150,7 @@ class TraceReplayWorkload : public Workload
   private:
     std::unique_ptr<TraceFile> trace_;
     TraceCursor cursor_;
+    OsEventStream events_;
 };
 
 /** Options for recordTrace: container version (and v2 knobs). */

@@ -24,6 +24,7 @@ namespace asap
 {
 
 class System;
+class OsEventStream;
 
 class Workload
 {
@@ -55,6 +56,14 @@ class Workload
         for (std::size_t i = 0; i < count; ++i)
             out[i] = next(rng);
     }
+
+    /**
+     * The workload's OS-event stream (src/dyn/os_events.hh), valid
+     * after setup(); nullptr (the default) for static workloads. The
+     * Simulator fires these events at their access offsets — mid-run
+     * mmap/munmap/fault/madvise churn riding along the address stream.
+     */
+    virtual const OsEventStream *events() const { return nullptr; }
 
     /** Core (non-memory) cycles between memory accesses — the
      *  execution-time model's compute component. */

@@ -201,6 +201,64 @@ TEST(Buddy, ChurnFragmentsFreeSpace)
     EXPECT_GT(scatter(churned), scatter(fresh));
 }
 
+TEST(Buddy, ReleaseChurnReturnsHeldBlocks)
+{
+    BuddyAllocator buddy(1 << 14);
+    Rng rng(42);
+    buddy.churn(rng, 6000, 3, 0.5);
+    const std::uint64_t heldBlocks = buddy.churnHeldBlocks();
+    const std::uint64_t freeBefore = buddy.freeFrames();
+    ASSERT_GT(heldBlocks, 0u);
+
+    // Partial release: the youngest ~30% of tenants depart.
+    const std::uint64_t released = buddy.releaseChurn(0.3);
+    EXPECT_GT(released, 0u);
+    EXPECT_EQ(buddy.freeFrames(), freeBefore + released);
+    EXPECT_LT(buddy.churnHeldBlocks(), heldBlocks);
+    EXPECT_TRUE(buddy.checkConsistency());
+
+    // Full release: everything held goes back and coalesces.
+    const std::uint64_t rest = buddy.releaseChurn();
+    EXPECT_EQ(buddy.churnHeldBlocks(), 0u);
+    EXPECT_EQ(buddy.freeFrames(), freeBefore + released + rest);
+    EXPECT_EQ(buddy.freeFrames(), std::uint64_t{1} << 14);
+    EXPECT_EQ(buddy.largestFreeOrder(), 14);
+    EXPECT_TRUE(buddy.checkConsistency());
+
+    // Releasing with nothing held is a no-op.
+    EXPECT_EQ(buddy.releaseChurn(), 0u);
+}
+
+TEST(Buddy, ReleaseChurnUnderFreeHeavySequences)
+{
+    // Churn, then a free-heavy interleaving of app allocations, partial
+    // churn releases and range frees — the mid-run shape the dyn
+    // subsystem produces — with the consistency check after each wave.
+    BuddyAllocator buddy(1 << 13, 10);
+    Rng rng(7);
+    buddy.churn(rng, 4000, 2, 0.6);
+    std::vector<Pfn> app;
+    for (int wave = 0; wave < 6; ++wave) {
+        for (int i = 0; i < 300; ++i) {
+            const Pfn f = buddy.allocFrame();
+            if (f != invalidPfn)
+                app.push_back(f);
+        }
+        // Free-heavy phase: most of the app pages plus some tenants.
+        while (app.size() > 40) {
+            buddy.freeFrame(app.back());
+            app.pop_back();
+        }
+        buddy.releaseChurn(0.25);
+        ASSERT_TRUE(buddy.checkConsistency()) << "wave " << wave;
+    }
+    for (const Pfn f : app)
+        buddy.freeFrame(f);
+    buddy.releaseChurn();
+    EXPECT_EQ(buddy.freeFrames(), std::uint64_t{1} << 13);
+    EXPECT_TRUE(buddy.checkConsistency());
+}
+
 /** Property test: random alloc/free interleavings preserve invariants. */
 class BuddyProperty : public ::testing::TestWithParam<std::uint64_t>
 {};

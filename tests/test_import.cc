@@ -93,6 +93,47 @@ champsimRecord(std::uint64_t ip, const std::uint64_t (&dest)[2],
     return out;
 }
 
+// gem5 protobuf packet-trace fixture helpers: hand-rolled wire format
+// (varint fields; a framed header message, then Packet messages).
+void
+appendProtoVarint(std::string &out, std::uint64_t field, std::uint64_t v)
+{
+    putVarint(out, (field << 3) | 0);   // wire type 0 = varint
+    putVarint(out, v);
+}
+
+void
+appendGem5Message(std::string &out, const std::string &message)
+{
+    putVarint(out, message.size());
+    out += message;
+}
+
+std::string
+gem5Header()
+{
+    std::string msg;
+    const std::string objId = "system.monitor";
+    putVarint(msg, (1ull << 3) | 2);    // field 1, length-delimited
+    putVarint(msg, objId.size());
+    msg += objId;
+    appendProtoVarint(msg, 2, 1);                   // ver
+    appendProtoVarint(msg, 3, 1'000'000'000'000);   // tick_freq
+    return msg;
+}
+
+std::string
+gem5Packet(std::uint64_t tick, std::uint64_t cmd, std::uint64_t addr,
+           std::uint64_t size)
+{
+    std::string msg;
+    appendProtoVarint(msg, 1, tick);
+    appendProtoVarint(msg, 2, cmd);
+    appendProtoVarint(msg, 3, addr);
+    appendProtoVarint(msg, 4, size);
+    return msg;
+}
+
 /** All stored addresses of a trace file. */
 std::vector<VirtAddr>
 decodeAll(const std::string &path)
@@ -228,12 +269,108 @@ TEST(Importers, ChampSimParsesMemorySlots)
                 testing::ExitedWithCode(1), "64-byte ChampSim");
 }
 
+TEST(Importers, Gem5ParsesPacketMessages)
+{
+    std::string bytes = "gem5";
+    appendGem5Message(bytes, gem5Header());
+    appendGem5Message(bytes, gem5Packet(100, 1, 0x7f00'0000'1000, 64));
+    appendGem5Message(bytes, gem5Packet(200, 4, 0x7f00'0000'2040, 8));
+    // Optional fields newer gem5 versions append must be skipped: a
+    // fixed64 (field 9) and a length-delimited blob (field 10).
+    {
+        std::string msg = gem5Packet(300, 2, 0x7f00'0000'3000, 0);
+        putVarint(msg, (9ull << 3) | 1);
+        msg.append(8, '\x42');
+        putVarint(msg, (10ull << 3) | 2);
+        putVarint(msg, 3);
+        msg += "abc";
+        appendGem5Message(bytes, msg);
+    }
+    // A command-only message (no addr) contributes no reference.
+    {
+        std::string msg;
+        appendProtoVarint(msg, 1, 400);
+        appendProtoVarint(msg, 2, 1);
+        appendGem5Message(bytes, msg);
+    }
+
+    const auto records = parseBytes(gem5Importer(), bytes);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].va, 0x7f00'0000'1000ull);
+    EXPECT_EQ(records[0].size, 64u);
+    EXPECT_FALSE(records[0].write);        // ReadReq
+    EXPECT_EQ(records[1].va, 0x7f00'0000'2040ull);
+    EXPECT_TRUE(records[1].write);         // WriteReq
+    EXPECT_EQ(records[2].va, 0x7f00'0000'3000ull);
+    EXPECT_EQ(records[2].size, 4u);        // size 0 defaults to a word
+    EXPECT_FALSE(records[2].write);        // ReadResp counts as a read
+}
+
+TEST(Importers, Gem5SniffNeedsMagicAndFraming)
+{
+    std::string good = "gem5";
+    appendGem5Message(good, gem5Header());
+    EXPECT_TRUE(gem5Importer().sniff(
+        reinterpret_cast<const std::uint8_t *>(good.data()),
+        good.size()));
+    EXPECT_EQ(detectImporter(
+                  reinterpret_cast<const std::uint8_t *>(good.data()),
+                  good.size()),
+              &gem5Importer());
+
+    // Magic alone is not enough: the first frame must fit the file.
+    std::string truncated = "gem5";
+    putVarint(truncated, 1000);
+    EXPECT_FALSE(gem5Importer().sniff(
+        reinterpret_cast<const std::uint8_t *>(truncated.data()),
+        truncated.size()));
+    const std::string wrong = "notagem5trace---";
+    EXPECT_FALSE(gem5Importer().sniff(
+        reinterpret_cast<const std::uint8_t *>(wrong.data()),
+        wrong.size()));
+}
+
+TEST(Importers, Gem5ImportRoundTrip)
+{
+    // End to end: fixture file -> importTrace -> replayable container
+    // whose stream has one reference per packet, rebased but with page
+    // offsets preserved.
+    std::string bytes = "gem5";
+    appendGem5Message(bytes, gem5Header());
+    const std::uint64_t base = 0x7fa0'0000'0000ull;
+    constexpr unsigned packets = 600;
+    for (unsigned i = 0; i < packets; ++i) {
+        const std::uint64_t va = base + (i % 37) * 4'096 + (i % 64) * 8;
+        appendGem5Message(bytes,
+                          gem5Packet(i * 10, i % 5 == 0 ? 4 : 1, va, 8));
+    }
+    const TempFile in("gem5_fixture.bin");
+    const TempFile out("gem5_fixture.trc2");
+    in.write(bytes);
+
+    const ImportSummary summary =
+        importTrace(gem5Importer(), in.path(), out.path(),
+                    ImportOptions{}, Trc2Options{});
+    EXPECT_EQ(summary.references, packets);
+    EXPECT_EQ(summary.touchedPages, 37u);
+
+    const auto vas = decodeAll(out.path());
+    ASSERT_EQ(vas.size(), packets);
+    for (unsigned i = 0; i < packets; ++i) {
+        const std::uint64_t original =
+            base + (i % 37) * 4'096 + (i % 64) * 8;
+        EXPECT_EQ(vas[i] & pageOffsetMask, original & pageOffsetMask)
+            << i;
+    }
+}
+
 TEST(Importers, RegistryAndDetection)
 {
-    ASSERT_GE(traceImporters().size(), 3u);
+    ASSERT_GE(traceImporters().size(), 4u);
     EXPECT_EQ(importerByName("text"), &textImporter());
     EXPECT_EQ(importerByName("champsim"), &champsimImporter());
     EXPECT_EQ(importerByName("drmemtrace"), &drmemtraceImporter());
+    EXPECT_EQ(importerByName("gem5"), &gem5Importer());
     EXPECT_EQ(importerByName("nope"), nullptr);
 
     const std::string text = "0x1000,8,r\n0x2000\n";

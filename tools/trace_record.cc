@@ -38,7 +38,9 @@ usage(const char *argv0)
         "usage: %s <workload> <out.asaptrace> [options]\n"
         "\n"
         "  <workload>      a suite workload name (mcf, canneal, bfs,\n"
-        "                  pagerank, mc80, mc400, redis)\n"
+        "                  pagerank, mc80, mc400, redis), optionally\n"
+        "                  with an OS-dynamics profile (mcf@tenants,\n"
+        "                  mc80@server — requires --v2)\n"
         "  --seed N        stream seed (default 7, the RunConfig default)\n"
         "  --accesses N    addresses to record (default: the default\n"
         "                  RunConfig's warmup+measure count)\n"
