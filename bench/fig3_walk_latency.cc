@@ -45,6 +45,28 @@ main()
     }
     table.addAverageRow();
     emit(sweep.name(), table);
+
+    // Tail behaviour (obs::Histogram percentiles; the full
+    // p50/p90/p99/p99.9 set is in the cells CSV/JSON).
+    const auto percentileTable = [&](const char *title,
+                                     std::uint64_t (obs::Histogram::*p)()
+                                         const) {
+        ResultTable t(title, columns);
+        for (const std::string &row : results.rowLabels()) {
+            t.addRow(row, results.rowValues(
+                              row, columns, [p](const CellResult &c) {
+                                  return double((c.stats.walkHist.*p)());
+                              }));
+        }
+        t.addAverageRow();
+        return t;
+    };
+    emit(sweep.name() + "_p50",
+         percentileTable("Figure 3 (tail): p50 walk latency (cycles)",
+                         &obs::Histogram::p50));
+    emit(sweep.name() + "_p99",
+         percentileTable("Figure 3 (tail): p99 walk latency (cycles)",
+                         &obs::Histogram::p99));
     emitCells(sweep.name(), results);
     return 0;
 }

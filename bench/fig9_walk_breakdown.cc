@@ -28,6 +28,18 @@ printBreakdown(const char *title, const RunStats &stats)
             continue;
         std::printf("  PL%u: %s\n", level,
                     stats.levelDist[level].format().c_str());
+        // Latency *distribution* per level (obs::Histogram of each
+        // level's cycle contribution), not just the serving fractions:
+        // a level can be 95% PWC-served and still own the tail.
+        const obs::Histogram &hist = stats.levelHist[level];
+        if (hist.count() == 0)
+            continue;
+        std::printf(
+            "       cycles: mean %.1f  p50 %llu  p90 %llu  p99 %llu\n",
+            hist.mean(),
+            static_cast<unsigned long long>(hist.p50()),
+            static_cast<unsigned long long>(hist.p90()),
+            static_cast<unsigned long long>(hist.p99()));
     }
 }
 

@@ -82,6 +82,21 @@ main()
     emit("fig_churn_native", native);
     emit("fig_churn_virt", virt);
 
+    // Churn shows up in the tail long before it moves the average:
+    // shootdown-induced TLB/PWC refills land on a few unlucky walks.
+    // (Full p50/p90/p99/p99.9 columns are in the cells CSV/JSON.)
+    ResultTable tail("Churn sweep (native): p99 walk latency (cycles)",
+                     columns);
+    for (const Intensity &level : intensities) {
+        tail.addRow(level.row,
+                    results.rowValues(level.row, columns,
+                                      [](const CellResult &c) {
+                                          return double(
+                                              c.stats.walkHist.p99());
+                                      }));
+    }
+    emit("fig_churn_native_p99", tail);
+
     // ASAP region lifecycle under churn: what uptime costs coverage.
     ResultTable lifecycle(
         "P1+P2 region lifecycle per run (native): events, teardowns, "

@@ -123,6 +123,9 @@ struct CaseTiming
     double seconds = 0.0;           ///< best rep CPU time
     double accessesPerSec = 0.0;
     double avgWalkLatency = 0.0;    ///< sanity: model output, not speed
+    /** The best rep's run self-profile (obs/profile.hh); wallSec == 0
+     *  for cases that bypass Environment::run (trace decode, sweep). */
+    obs::SelfProfile profile;
 };
 
 /**
@@ -154,6 +157,17 @@ toJson(const std::vector<CaseTiming> &timings, bool quick)
         c.set("seconds", t.seconds);
         c.set("accessesPerSec", t.accessesPerSec);
         c.set("avgWalkLatency", t.avgWalkLatency);
+        if (t.profile.wallSec > 0.0) {
+            Json profile = Json::object();
+            profile.set("envSetupSec", t.profile.envSetupSec);
+            profile.set("warmupSec", t.profile.warmupSec);
+            profile.set("measureSec", t.profile.measureSec);
+            profile.set("wallSec", t.profile.wallSec);
+            profile.set("accessesPerSec", t.profile.accessesPerSec);
+            profile.set("peakRssBytes",
+                        static_cast<double>(t.profile.peakRssBytes));
+            c.set("profile", std::move(profile));
+        }
         cases.push(std::move(c));
     }
     doc.set("cases", std::move(cases));
@@ -449,6 +463,7 @@ main(int argc, char **argv)
             if (secs < timing.seconds) {
                 timing.seconds = secs;
                 timing.avgWalkLatency = stats.avgWalkLatency();
+                timing.profile = stats.profile;
             }
         }
         timing.accessesPerSec =

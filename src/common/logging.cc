@@ -1,6 +1,7 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <cstring>
 #include <vector>
 
 namespace asap
@@ -25,6 +26,61 @@ strprintf(const char *fmt, ...)
     return std::string(buf.data(), static_cast<std::size_t>(n));
 }
 
+namespace
+{
+
+LogLevel
+parseThreshold()
+{
+    const char *env = std::getenv("ASAP_LOG");
+    if (!env || env[0] == '\0')
+        return LogLevel::Info;
+    if (std::strcmp(env, "error") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::Error;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "1") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "3") == 0)
+        return LogLevel::Debug;
+    std::fprintf(stderr,
+                 "[asap] warn: unknown ASAP_LOG value '%s' "
+                 "(want error|warn|info|debug)\n",
+                 env);
+    return LogLevel::Info;
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+bool
+logEnabled(LogLevel level)
+{
+    static const LogLevel threshold = parseThreshold();
+    return static_cast<unsigned>(level) <=
+           static_cast<unsigned>(threshold);
+}
+
+void
+logImpl(LogLevel level, const std::string &msg)
+{
+    if (!logEnabled(level))
+        return;
+    std::fprintf(stderr, "[asap] %s: %s\n", levelName(level),
+                 msg.c_str());
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
@@ -37,18 +93,6 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
     std::exit(1);
-}
-
-void
-warnImpl(const std::string &msg)
-{
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
-}
-
-void
-informImpl(const std::string &msg)
-{
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 } // namespace asap

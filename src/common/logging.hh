@@ -6,6 +6,14 @@
  * fatal()  - the user asked for something unsupported (bad config): exit(1).
  * warn()   - something questionable happened but simulation continues.
  * inform() - status message.
+ * debugf() - developer diagnostics, compiled in but filtered out by
+ *            default.
+ *
+ * Everything below panic/fatal goes through one stderr sink with a
+ * consistent "[asap] level:" prefix, filtered by the ASAP_LOG
+ * environment variable ("error", "warn", "info" (default), "debug", or
+ * the matching digits 0-3). panic/fatal always print — suppressing the
+ * reason a process died helps nobody.
  */
 
 #ifndef ASAP_COMMON_LOGGING_HH
@@ -23,24 +31,42 @@ namespace asap
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/** Message severities, most severe first (ASAP_LOG thresholds). */
+enum class LogLevel : unsigned
+{
+    Error = 0,   ///< panic/fatal (never filtered)
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Should a message at @p level reach stderr? (ASAP_LOG, parsed once.) */
+bool logEnabled(LogLevel level);
+
+/** The shared sink: "[asap] level: msg\n" to stderr when enabled. */
+void logImpl(LogLevel level, const std::string &msg);
+
 /** Report an internal simulator bug and abort. */
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
 
 /** Report an unrecoverable user/configuration error and exit(1). */
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 
-/** Report a recoverable anomaly to stderr. */
-void warnImpl(const std::string &msg);
-
-/** Report a status message to stderr. */
-void informImpl(const std::string &msg);
-
 #define panic(...) \
     ::asap::panicImpl(__FILE__, __LINE__, ::asap::strprintf(__VA_ARGS__))
 #define fatal(...) \
     ::asap::fatalImpl(__FILE__, __LINE__, ::asap::strprintf(__VA_ARGS__))
-#define warn(...) ::asap::warnImpl(::asap::strprintf(__VA_ARGS__))
-#define inform(...) ::asap::informImpl(::asap::strprintf(__VA_ARGS__))
+#define warn(...)                                                       \
+    ::asap::logImpl(::asap::LogLevel::Warn,                             \
+                    ::asap::strprintf(__VA_ARGS__))
+#define inform(...)                                                     \
+    ::asap::logImpl(::asap::LogLevel::Info,                             \
+                    ::asap::strprintf(__VA_ARGS__))
+/** Formatting is unconditional; keep hot-path debugf behind your own
+ *  logEnabled() check if the arguments are expensive. */
+#define debugf(...)                                                     \
+    ::asap::logImpl(::asap::LogLevel::Debug,                            \
+                    ::asap::strprintf(__VA_ARGS__))
 
 /** panic() unless @p cond holds. Cheap enough to keep in release builds. */
 #define panic_if(cond, ...)                     \

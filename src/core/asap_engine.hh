@@ -20,6 +20,7 @@
 
 #include "common/types.hh"
 #include "mem/hierarchy.hh"
+#include "obs/trace_sink.hh"
 #include "core/range_registers.hh"
 #include "walk/walker.hh"
 
@@ -54,6 +55,8 @@ class AsapEngine : public PrefetchHook
             return;
         ++triggers_;
         const VmaDescriptor *descriptor = registers_.lookup(va);
+        if (sink_)
+            sink_->asapTrigger(track_, now, va, descriptor != nullptr);
         if (!descriptor)
             return;
         ++rangeHits_;
@@ -62,9 +65,22 @@ class AsapEngine : public PrefetchHook
             if (!ld.valid)
                 continue;
             ++attempted_;
-            if (mem_.prefetch(ld.entryAddrOf(va), now))
+            const bool issued = mem_.prefetch(ld.entryAddrOf(va), now);
+            if (issued)
                 ++issued_;
+            if (sink_)
+                sink_->asapIssue(track_, now, level,
+                                 ld.entryAddrOf(va), issued);
         }
+    }
+
+    /** Attach a trace sink; @p track tells the app and host dimension
+     *  engines apart in the exported trace. */
+    void
+    setTraceSink(obs::TraceSink *sink, obs::Track track)
+    {
+        sink_ = sink;
+        track_ = track;
     }
 
     const AsapConfig &config() const { return config_; }
@@ -77,6 +93,9 @@ class AsapEngine : public PrefetchHook
     RangeRegisterFile &registers_;
     MemoryHierarchy &mem_;
     AsapConfig config_;
+
+    obs::TraceSink *sink_ = nullptr;
+    obs::Track track_ = obs::Track::AsapApp;
 
     std::uint64_t triggers_ = 0;
     std::uint64_t rangeHits_ = 0;

@@ -26,9 +26,14 @@ OsDynamics::resolveVma(const OsEvent &event) const
 }
 
 void
-OsDynamics::apply(const OsEvent &event, OsDynStats &stats)
+OsDynamics::apply(const OsEvent &event, OsDynStats &stats, Cycles now)
 {
     ++stats.events;
+    obs::TraceSink *sink = machine_.traceSink();
+    if (sink) {
+        sink->osEvent(now, static_cast<unsigned>(event.kind),
+                      event.addr, event.pages);
+    }
     switch (event.kind) {
       case OsEventKind::Mmap: {
         const std::uint64_t id = system_.mmap(
@@ -54,6 +59,8 @@ OsDynamics::apply(const OsEvent &event, OsDynStats &stats)
             machine_.invalidateRange(counts.start, counts.end);
         stats.tlbInvalidated += dropped.tlb;
         stats.pwcInvalidated += dropped.pwc;
+        if (sink)
+            sink->shootdown(now, dropped.tlb, dropped.pwc);
         machine_.refreshDescriptors();
         break;
       }
@@ -93,6 +100,8 @@ OsDynamics::apply(const OsEvent &event, OsDynStats &stats)
             machine_.invalidateRange(counts.start, counts.end);
         stats.tlbInvalidated += dropped.tlb;
         stats.pwcInvalidated += dropped.pwc;
+        if (sink)
+            sink->shootdown(now, dropped.tlb, dropped.pwc);
         break;
       }
       case OsEventKind::Extend: {

@@ -52,13 +52,15 @@ class OsDynamics
 
     bool active() const { return stream_ && !stream_->empty(); }
 
-    /** Apply every event with atAccess <= @p consumed, in order. */
+    /** Apply every event with atAccess <= @p consumed, in order.
+     *  @p now timestamps the events on an attached trace sink; it never
+     *  influences what the events do. */
     void
-    applyDue(std::uint64_t consumed, OsDynStats &stats)
+    applyDue(std::uint64_t consumed, OsDynStats &stats, Cycles now = 0)
     {
         while (next_ < stream_->events().size() &&
                stream_->events()[next_].atAccess <= consumed) {
-            apply(stream_->events()[next_], stats);
+            apply(stream_->events()[next_], stats, now);
             ++next_;
         }
     }
@@ -74,7 +76,7 @@ class OsDynamics
     }
 
   private:
-    void apply(const OsEvent &event, OsDynStats &stats);
+    void apply(const OsEvent &event, OsDynStats &stats, Cycles now);
 
     /** Resolve the VMA an event targets and its base VA. */
     const Vma *resolveVma(const OsEvent &event) const;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <set>
 
@@ -127,18 +128,48 @@ cellStatColumns()
             {"asapAttempted", [](C c) { return double(c.stats.appAsap.attempted); }},
             {"asapIssued", [](C c) { return double(c.stats.appAsap.issued); }},
             {"hostAsapIssued", [](C c) { return double(c.stats.hostAsap.issued); }},
-            // OS-dynamics activity (all zero for static cells).
-            {"dynEvents", [](C c) { return double(c.stats.dyn.events); }},
-            {"dynMunmaps", [](C c) { return double(c.stats.dyn.munmaps); }},
-            {"dynPagesFreed", [](C c) { return double(c.stats.dyn.dataPagesFreed); }},
-            {"dynPtNodesFreed", [](C c) { return double(c.stats.dyn.ptNodesFreed); }},
-            {"dynTlbInvalidated", [](C c) { return double(c.stats.dyn.tlbInvalidated); }},
-            {"dynPwcInvalidated", [](C c) { return double(c.stats.dyn.pwcInvalidated); }},
-            {"dynRegionGrowthHoles", [](C c) { return double(c.stats.dyn.regionGrowthHoles); }},
-            {"dynRegionRelocations", [](C c) { return double(c.stats.dyn.regionRelocations); }},
-            {"dynRegionsReleased", [](C c) { return double(c.stats.dyn.regionsReleased); }},
+            // Walk-latency distribution (obs::Histogram; deterministic
+            // bucket upper bounds, thread-count-invariant).
+            {"walkLatencyP50", [](C c) { return double(c.stats.walkHist.p50()); }},
+            {"walkLatencyP90", [](C c) { return double(c.stats.walkHist.p90()); }},
+            {"walkLatencyP99", [](C c) { return double(c.stats.walkHist.p99()); }},
+            {"walkLatencyP999", [](C c) { return double(c.stats.walkHist.p999()); }},
+            {"dataLatencyP50", [](C c) { return double(c.stats.dataHist.p50()); }},
+            {"dataLatencyP99", [](C c) { return double(c.stats.dataHist.p99()); }},
+            // The dyn* and component counters that used to be
+            // hand-plumbed here now flow through RunStats::counters
+            // (obs::Registry) — see counterKeys()/counterOf below.
         };
     return columns;
+}
+
+/** Union of counter names across cells, in first-cell registration
+ *  order (every measured cell registers the same machine+system+dyn
+ *  set, so this is just "the first measured cell's order"). */
+std::vector<std::string>
+counterKeys(const std::vector<CellResult> &cells)
+{
+    std::vector<std::string> keys;
+    std::set<std::string> seen;
+    for (const CellResult &cell : cells) {
+        for (const auto &[key, value] : cell.stats.counters) {
+            if (seen.insert(key).second)
+                keys.push_back(key);
+        }
+    }
+    return keys;
+}
+
+/** The named counter of a cell, or -1 when the cell lacks it (e.g. a
+ *  native cell has no host-dimension structures). */
+double
+counterOf(const CellResult &cell, const std::string &key)
+{
+    for (const auto &[name, value] : cell.stats.counters) {
+        if (name == key)
+            return static_cast<double>(value);
+    }
+    return -1.0;
 }
 
 std::vector<std::string>
@@ -158,9 +189,12 @@ std::string
 ResultSet::toCsv() const
 {
     const auto extraKeys = sortedExtraKeys(cells_);
+    const auto ctrKeys = counterKeys(cells_);
     std::string out = "row,column,measured";
     for (const auto &[name, metric] : cellStatColumns())
         out += std::string(",") + name;
+    for (const std::string &key : ctrKeys)
+        out += "," + key;
     for (const std::string &key : extraKeys)
         out += "," + key;
     out += '\n';
@@ -170,6 +204,12 @@ ResultSet::toCsv() const
         for (const auto &[name, metric] : cellStatColumns())
             out += "," + Json::numberToString(cell.measured ? metric(cell)
                                                             : 0.0);
+        for (const std::string &key : ctrKeys) {
+            const double value =
+                cell.measured ? counterOf(cell, key) : -1.0;
+            out += "," + (value < 0.0 ? std::string()
+                                      : Json::numberToString(value));
+        }
         for (const std::string &key : extraKeys) {
             const auto it = cell.extra.find(key);
             out += "," + (it == cell.extra.end()
@@ -182,7 +222,7 @@ ResultSet::toCsv() const
 }
 
 Json
-ResultSet::toJson() const
+ResultSet::toJson(bool withProfile) const
 {
     Json cells = Json::array();
     for (const CellResult &cell : cells_) {
@@ -195,6 +235,30 @@ ResultSet::toJson() const
             for (const auto &[name, metric] : cellStatColumns())
                 stats.set(name, metric(cell));
             entry.set("stats", std::move(stats));
+
+            if (!cell.stats.counters.empty()) {
+                Json counters = Json::object();
+                for (const auto &[name, value] : cell.stats.counters)
+                    counters.set(name, static_cast<double>(value));
+                entry.set("counters", std::move(counters));
+            }
+
+            // Wall-clock self-profile: nondeterministic, so only on
+            // request (ASAP_PROFILE=1 artifacts) — the default form
+            // stays byte-identical across ASAP_JOBS settings.
+            if (withProfile) {
+                const obs::SelfProfile &p = cell.stats.profile;
+                Json profile = Json::object();
+                profile.set("envSetupSec", p.envSetupSec);
+                profile.set("warmupSec", p.warmupSec);
+                profile.set("measureSec", p.measureSec);
+                profile.set("teardownSec", p.teardownSec);
+                profile.set("wallSec", p.wallSec);
+                profile.set("accessesPerSec", p.accessesPerSec);
+                profile.set("peakRssBytes",
+                            static_cast<double>(p.peakRssBytes));
+                entry.set("profile", std::move(profile));
+            }
 
             Json levels = Json::object();
             for (unsigned level = 1; level <= 5; ++level) {
@@ -306,6 +370,34 @@ groupLabel(const WorkloadSpec &spec, const EnvironmentOptions &env)
     return label;
 }
 
+/** Opt-in live progress (ASAP_PROGRESS=1): one carriage-return-updated
+ *  stderr line instead of a scrolling per-group log. */
+bool
+progressEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("ASAP_PROGRESS");
+        return env && env[0] != '\0' && env[0] != '0';
+    }();
+    return enabled;
+}
+
+void
+reportGroupDone(unsigned done, unsigned total, const std::string &label)
+{
+    if (progressEnabled()) {
+        static std::mutex mutex;
+        std::lock_guard<std::mutex> lock(mutex);
+        std::fprintf(stderr,
+                     "\r[asap] progress: %u/%u groups (last: %s)\033[K%s",
+                     done, total, label.c_str(),
+                     done == total ? "\n" : "");
+        std::fflush(stderr);
+        return;
+    }
+    inform("[%u/%u] %s done", done, total, label.c_str());
+}
+
 } // namespace
 
 ResultSet
@@ -361,21 +453,38 @@ SweepRunner::run(const SweepSpec &spec) const
                 if (cell.probe)
                     cell.probe(environment, result);
             }
-            std::fprintf(stderr, "  [%u/%u] %s done\n",
-                         completed.fetch_add(1) + 1, total,
-                         groupLabel(first.spec, first.env).c_str());
+            reportGroupDone(completed.fetch_add(1) + 1, total,
+                            groupLabel(first.spec, first.env));
         });
     }
     pool.wait();
     return ResultSet(std::move(results));
 }
 
+namespace {
+
+/** Opt-in self-profile blocks in cell artifacts (ASAP_PROFILE=1).
+ *  Wall-clock numbers vary run to run and with ASAP_JOBS, so keeping
+ *  them out by default preserves the byte-identical-artifacts
+ *  guarantee that the thread-count-invariance check relies on. */
+bool
+profileEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("ASAP_PROFILE");
+        return env && env[0] != '\0' && env[0] != '0';
+    }();
+    return enabled;
+}
+
+} // namespace
+
 void
 emitCells(const std::string &name, const ResultSet &results)
 {
     writeResultArtifact(name + "_cells.csv", results.toCsv());
     writeResultArtifact(name + "_cells.json",
-                        results.toJson().dump(2) + "\n");
+                        results.toJson(profileEnabled()).dump(2) + "\n");
 }
 
 } // namespace asap::exp

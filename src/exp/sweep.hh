@@ -143,9 +143,12 @@ class ResultSet
     /** Distinct row labels in first-appearance order. */
     std::vector<std::string> rowLabels() const;
 
-    /** Raw per-cell statistics (one line per cell). */
+    /** Raw per-cell statistics (one line per cell). @p withProfile
+     *  adds each cell's wall-clock self-profile — nondeterministic, so
+     *  only ASAP_PROFILE=1 artifacts ask for it; the default form is
+     *  byte-identical across ASAP_JOBS settings. */
     std::string toCsv() const;
-    Json toJson() const;
+    Json toJson(bool withProfile = false) const;
 
   private:
     std::vector<CellResult> cells_;

@@ -33,6 +33,7 @@
 #include "common/mem_level.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
+#include "obs/trace_sink.hh"
 
 namespace asap
 {
@@ -90,6 +91,9 @@ class MemoryHierarchy
                 if (res.latency < config_.l1d.latency)
                     res.latency = config_.l1d.latency;
                 ++prefetchMerges_;
+                if (sink_)
+                    sink_->prefetchMerge(now, line << lineShift,
+                                         res.latency);
             }
             releaseMshr(i);
             break;
@@ -141,6 +145,9 @@ class MemoryHierarchy
         const AccessResult res = lookupAndFill(line);
         mshrs_[inflightCount_++] = {line, now + res.latency};
         ++prefetchesIssued_;
+        if (sink_)
+            sink_->prefetchFill(now, now + res.latency,
+                                line << lineShift);
         return true;
     }
 
@@ -158,6 +165,9 @@ class MemoryHierarchy
 
     /** Currently occupied MSHR slots (tests/diagnostics). */
     unsigned inflightPrefetches() const { return inflightCount_; }
+
+    /** Attach (or detach, with nullptr) a walk-event trace sink. */
+    void setTraceSink(obs::TraceSink *sink) { sink_ = sink; }
 
   private:
     /** One MSHR slot: an in-flight prefetch fill. */
@@ -204,6 +214,8 @@ class MemoryHierarchy
     std::uint64_t prefetchesIssued_ = 0;
     std::uint64_t prefetchesDropped_ = 0;
     std::uint64_t prefetchMerges_ = 0;
+
+    obs::TraceSink *sink_ = nullptr;
 };
 
 } // namespace asap

@@ -1,0 +1,51 @@
+#include "obs/histogram.hh"
+
+#include "common/logging.hh"
+
+namespace asap::obs
+{
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    // Rank of the target sample, 1-based, clamped into [1, count].
+    std::uint64_t rank;
+    if (q <= 0.0) {
+        rank = 1;
+    } else if (q >= 1.0) {
+        rank = count_;
+    } else {
+        rank = static_cast<std::uint64_t>(
+            q * static_cast<double>(count_) + 0.9999999999);
+        if (rank < 1)
+            rank = 1;
+        if (rank > count_)
+            rank = count_;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= rank)
+            return bucketHigh(i);
+    }
+    return bucketHigh(numBuckets - 1);
+}
+
+std::string
+Histogram::format() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        out += strprintf("  [%lu, %lu] %lu\n",
+                         static_cast<unsigned long>(bucketLow(i)),
+                         static_cast<unsigned long>(bucketHigh(i)),
+                         static_cast<unsigned long>(buckets_[i]));
+    }
+    return out;
+}
+
+} // namespace asap::obs

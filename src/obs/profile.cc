@@ -1,0 +1,28 @@
+#include "obs/profile.hh"
+
+#include <ctime>
+
+#include <sys/resource.h>
+
+namespace asap::obs
+{
+
+double
+wallSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+std::uint64_t
+peakRssBytes()
+{
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    // ru_maxrss is kilobytes on Linux.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+} // namespace asap::obs

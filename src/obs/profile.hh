@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Run self-profiling: wall-clock phase timers, throughput, and peak
+ * RSS. Purely observational — everything here reads the host clock and
+ * /proc-style process accounting, never simulated state, so it cannot
+ * perturb a run. Values are naturally nondeterministic and therefore
+ * excluded from the deterministic CSV columns and golden comparisons;
+ * they ride along in JSON artifacts only.
+ */
+
+#ifndef ASAP_OBS_PROFILE_HH
+#define ASAP_OBS_PROFILE_HH
+
+#include <cstdint>
+
+namespace asap::obs
+{
+
+/** Where one simulation run's wall-clock time went. */
+struct SelfProfile
+{
+    double envSetupSec = 0.0;   ///< System build + prefault (shared)
+    double warmupSec = 0.0;
+    double measureSec = 0.0;
+    double teardownSec = 0.0;   ///< machine/simulator destruction
+    double wallSec = 0.0;       ///< machine build + run + teardown
+    /** Simulated accesses per host second over the measure phase. */
+    double accessesPerSec = 0.0;
+    std::uint64_t peakRssBytes = 0;
+};
+
+/** Monotonic wall-clock seconds (CLOCK_MONOTONIC). */
+double wallSeconds();
+
+/** The process's peak resident set in bytes (getrusage). */
+std::uint64_t peakRssBytes();
+
+} // namespace asap::obs
+
+#endif // ASAP_OBS_PROFILE_HH

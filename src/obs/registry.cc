@@ -1,0 +1,28 @@
+#include "obs/registry.hh"
+
+#include "common/logging.hh"
+
+namespace asap::obs
+{
+
+void
+Registry::add(std::string name, Reader reader)
+{
+    for (const auto &entry : entries_) {
+        panic_if(entry.first == name,
+                 "duplicate counter registration '%s'", name.c_str());
+    }
+    entries_.emplace_back(std::move(name), std::move(reader));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Registry::snapshot() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> values;
+    values.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        values.emplace_back(entry.first, entry.second());
+    return values;
+}
+
+} // namespace asap::obs

@@ -1,0 +1,258 @@
+#include "obs/trace_sink.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/mem_level.hh"
+
+namespace asap::obs
+{
+
+namespace
+{
+
+const char *
+kindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::WalkSpan: return "walk";
+      case EventKind::NestedWalkSpan: return "nested walk";
+      case EventKind::Fault: return "fault";
+      case EventKind::AsapTrigger: return "asap trigger";
+      case EventKind::AsapIssue: return "asap issue";
+      case EventKind::PrefetchFill: return "prefetch fill";
+      case EventKind::PrefetchMerge: return "prefetch merge";
+      case EventKind::OsEvent: return "os event";
+      case EventKind::Shootdown: return "shootdown";
+      default: return "?";
+    }
+}
+
+const char *
+trackName(Track track)
+{
+    switch (track) {
+      case Track::Core: return "core (walks)";
+      case Track::AsapApp: return "asap-app";
+      case Track::AsapHost: return "asap-host";
+      case Track::Mem: return "mem (prefetches)";
+      case Track::Os: return "os";
+      default: return "?";
+    }
+}
+
+/** Mirrors OsEventKind (dyn/os_events.hh) — the sink stores the raw
+ *  kind so its header stays independent of the dyn subsystem. */
+const char *
+osEventName(std::uint64_t kind)
+{
+    switch (kind) {
+      case 0: return "mmap";
+      case 1: return "munmap";
+      case 2: return "minor fault";
+      case 3: return "madvise free";
+      case 4: return "extend";
+      case 5: return "release churn";
+      default: return "os?";
+    }
+}
+
+/** Decode a packWalkLevel()-packed breakdown: "PL5=PWC PL4=L1 ...". */
+std::string
+unpackLevels(std::uint64_t packed)
+{
+    std::string out;
+    for (unsigned level = 5; level >= 1; --level) {
+        const unsigned code =
+            static_cast<unsigned>((packed >> (4 * level)) & 0xf);
+        if (code == 0)
+            continue;
+        if (!out.empty())
+            out += ' ';
+        out += strprintf("PL%u=%s", level,
+                         memLevelName(static_cast<MemLevel>(code - 1)));
+    }
+    return out;
+}
+
+void
+appendArgs(std::string &out, const TraceEvent &event)
+{
+    switch (event.kind) {
+      case EventKind::WalkSpan:
+        out += strprintf("\"va\":\"0x%lx\",\"fault\":%s,"
+                         "\"levels\":\"%s\"",
+                         event.a0, event.a2 ? "true" : "false",
+                         unpackLevels(event.a1).c_str());
+        break;
+      case EventKind::NestedWalkSpan:
+        out += strprintf("\"va\":\"0x%lx\",\"fault\":%s,"
+                         "\"ptAccesses\":%lu",
+                         event.a0, event.a2 ? "true" : "false",
+                         event.a1);
+        break;
+      case EventKind::Fault:
+        out += strprintf("\"va\":\"0x%lx\"", event.a0);
+        break;
+      case EventKind::AsapTrigger:
+        out += strprintf("\"va\":\"0x%lx\",\"rangeHit\":%s", event.a0,
+                         event.a1 ? "true" : "false");
+        break;
+      case EventKind::AsapIssue:
+        out += strprintf("\"entryPa\":\"0x%lx\",\"level\":%lu,"
+                         "\"issued\":%s",
+                         event.a0, event.a1,
+                         event.a2 ? "true" : "false");
+        break;
+      case EventKind::PrefetchFill:
+        out += strprintf("\"pa\":\"0x%lx\"", event.a0);
+        break;
+      case EventKind::PrefetchMerge:
+        out += strprintf("\"pa\":\"0x%lx\",\"exposedLatency\":%lu",
+                         event.a0, event.a1);
+        break;
+      case EventKind::OsEvent:
+        out += strprintf("\"kind\":\"%s\",\"addr\":\"0x%lx\","
+                         "\"pages\":%lu",
+                         osEventName(event.a0), event.a1, event.a2);
+        break;
+      case EventKind::Shootdown:
+        out += strprintf("\"tlbDropped\":%lu,\"pwcDropped\":%lu",
+                         event.a0, event.a1);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+TraceSink::TraceSink(std::size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+}
+
+std::size_t
+TraceSink::size() const
+{
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+}
+
+std::uint64_t
+TraceSink::dropped() const
+{
+    return total_ - size();
+}
+
+const TraceEvent &
+TraceSink::at(std::size_t index) const
+{
+    panic_if(index >= size(), "trace event index %zu out of %zu", index,
+             size());
+    // When the ring has wrapped, the oldest retained event sits at
+    // head_ (the next overwrite target).
+    const std::size_t first = total_ <= ring_.size() ? 0 : head_;
+    std::size_t slot = first + index;
+    if (slot >= ring_.size())
+        slot -= ring_.size();
+    return ring_[slot];
+}
+
+std::uint64_t
+TraceSink::countOf(EventKind kind) const
+{
+    std::uint64_t count = 0;
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i)
+        count += at(i).kind == kind ? 1 : 0;
+    return count;
+}
+
+void
+TraceSink::clear()
+{
+    head_ = 0;
+    total_ = 0;
+}
+
+std::string
+TraceSink::chromeJson() const
+{
+    const std::size_t n = size();
+    std::string out;
+    out.reserve(128 + n * 160);
+    out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+
+    // Thread-name metadata: one renderer "thread" per machine
+    // dimension.
+    for (unsigned t = 0; t < static_cast<unsigned>(Track::NumTracks);
+         ++t) {
+        out += strprintf("{\"name\":\"thread_name\",\"ph\":\"M\","
+                         "\"pid\":0,\"tid\":%u,"
+                         "\"args\":{\"name\":\"%s\"}}",
+                         t, trackName(static_cast<Track>(t)));
+        out += n > 0 || t + 1 < static_cast<unsigned>(Track::NumTracks)
+                   ? ",\n"
+                   : "\n";
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent &event = at(i);
+        // Simulated cycles render as microseconds (ts/dur are µs in
+        // the trace-event format).
+        if (event.duration > 0) {
+            out += strprintf("{\"name\":\"%s\",\"cat\":\"asap\","
+                             "\"ph\":\"X\",\"ts\":%lu,\"dur\":%lu,"
+                             "\"pid\":0,\"tid\":%u,\"args\":{",
+                             kindName(event.kind), event.start,
+                             event.duration,
+                             static_cast<unsigned>(event.track));
+        } else {
+            out += strprintf("{\"name\":\"%s\",\"cat\":\"asap\","
+                             "\"ph\":\"i\",\"s\":\"t\",\"ts\":%lu,"
+                             "\"pid\":0,\"tid\":%u,\"args\":{",
+                             kindName(event.kind), event.start,
+                             static_cast<unsigned>(event.track));
+        }
+        appendArgs(out, event);
+        out += i + 1 < n ? "}},\n" : "}}\n";
+    }
+    out += strprintf("],\"otherData\":{\"emitted\":%lu,"
+                     "\"dropped\":%lu}}\n",
+                     static_cast<unsigned long>(total_),
+                     static_cast<unsigned long>(dropped()));
+    return out;
+}
+
+void
+TraceSink::writeChromeJson(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    fatal_if(!file, "cannot write trace to %s", path.c_str());
+    const std::string json = chromeJson();
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    fatal_if(written != json.size(), "short write to %s", path.c_str());
+}
+
+std::string
+TraceSink::summary() const
+{
+    std::string out = strprintf(
+        "trace events: %lu emitted, %zu retained, %lu dropped\n",
+        static_cast<unsigned long>(total_), size(),
+        static_cast<unsigned long>(dropped()));
+    for (unsigned k = 0; k < static_cast<unsigned>(EventKind::NumKinds);
+         ++k) {
+        const auto kind = static_cast<EventKind>(k);
+        const std::uint64_t count = countOf(kind);
+        if (count > 0)
+            out += strprintf("  %-14s %lu\n", kindName(kind),
+                             static_cast<unsigned long>(count));
+    }
+    return out;
+}
+
+} // namespace asap::obs

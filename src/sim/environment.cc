@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/profile.hh"
+
 namespace asap
 {
 
@@ -31,18 +33,33 @@ Environment::Environment(const WorkloadSpec &spec,
                          const EnvironmentOptions &options)
     : spec_(applyQuickMode(spec)), options_(options)
 {
+    const double start = obs::wallSeconds();
     system_ = std::make_unique<System>(makeSystemConfig(spec_, options_));
     workload_ = makeWorkload(spec_);
     workload_->setup(*system_);
+    setupSeconds_ = obs::wallSeconds() - start;
 }
 
 RunStats
 Environment::run(const MachineConfig &machineConfig,
-                 const RunConfig &runConfig)
+                 const RunConfig &runConfig, obs::TraceSink *sink)
 {
-    Machine machine(*system_, machineConfig);
-    Simulator simulator(*system_, machine, *workload_);
-    return simulator.run(runConfig);
+    const double start = obs::wallSeconds();
+    RunStats stats;
+    double afterRun;
+    {
+        Machine machine(*system_, machineConfig);
+        if (sink)
+            machine.attachTraceSink(sink);
+        Simulator simulator(*system_, machine, *workload_);
+        stats = simulator.run(runConfig);
+        afterRun = obs::wallSeconds();
+    }
+    stats.profile.envSetupSec = setupSeconds_;
+    stats.profile.teardownSec = obs::wallSeconds() - afterRun;
+    stats.profile.wallSec = obs::wallSeconds() - start;
+    stats.profile.peakRssBytes = obs::peakRssBytes();
+    return stats;
 }
 
 MachineConfig

@@ -63,15 +63,26 @@ class Environment
     const WorkloadSpec &spec() const { return spec_; }
     const EnvironmentOptions &options() const { return options_; }
 
-    /** Build a machine and run the workload on this environment. */
+    /**
+     * Build a machine and run the workload on this environment. An
+     * optional trace sink (src/obs/) is attached to the machine for
+     * the duration of the run; passing nullptr (the default) keeps the
+     * zero-cost-when-off path.
+     */
     RunStats run(const MachineConfig &machineConfig,
-                 const RunConfig &runConfig);
+                 const RunConfig &runConfig,
+                 obs::TraceSink *sink = nullptr);
+
+    /** Wall-clock cost of building this environment (System +
+     *  prefault); copied into each run's self-profile. */
+    double setupSeconds() const { return setupSeconds_; }
 
   private:
     WorkloadSpec spec_;
     EnvironmentOptions options_;
     std::unique_ptr<System> system_;
     std::unique_ptr<Workload> workload_;
+    double setupSeconds_ = 0.0;
 };
 
 /** Paper-default machine configuration (Table 5) with the given ASAP

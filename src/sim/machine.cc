@@ -39,6 +39,79 @@ Machine::Machine(System &system, const MachineConfig &config)
 }
 
 void
+Machine::attachTraceSink(obs::TraceSink *sink)
+{
+    sink_ = sink;
+    mem_.setTraceSink(sink);
+    if (appEngine_)
+        appEngine_->setTraceSink(sink, obs::Track::AsapApp);
+    if (hostEngine_)
+        hostEngine_->setTraceSink(sink, obs::Track::AsapHost);
+}
+
+namespace
+{
+
+std::uint64_t
+packWalkLevels(const WalkResult &walk)
+{
+    std::uint64_t packed = 0;
+    for (unsigned level = 1; level <= 5; ++level) {
+        if (walk.requested[level]) {
+            packed = obs::packWalkLevel(
+                packed, level,
+                static_cast<unsigned>(walk.servedBy[level]));
+        }
+    }
+    return packed;
+}
+
+} // namespace
+
+void
+Machine::registerCounters(obs::Registry &registry) const
+{
+    const auto counter = [&registry](const char *name,
+                                     std::uint64_t value) {
+        registry.add(name, [value] { return value; });
+    };
+    counter("l1d.hits", mem_.l1d().hits());
+    counter("l1d.misses", mem_.l1d().misses());
+    counter("l2.hits", mem_.l2().hits());
+    counter("l2.misses", mem_.l2().misses());
+    counter("llc.hits", mem_.llc().hits());
+    counter("llc.misses", mem_.llc().misses());
+    counter("mshr.prefetchesIssued", mem_.prefetchesIssued());
+    counter("mshr.prefetchesDropped", mem_.prefetchesDropped());
+    counter("mshr.prefetchMerges", mem_.prefetchMerges());
+    counter("tlb.lookups", tlb_.lookups());
+    counter("tlb.l1Misses", tlb_.l1Misses());
+    counter("tlb.l2Misses", tlb_.l2Misses());
+    counter("pwc.app.hits", appPwc_.hits());
+    counter("pwc.app.lookups", appPwc_.lookups());
+    if (hostPwc_) {
+        counter("pwc.host.hits", hostPwc_->hits());
+        counter("pwc.host.lookups", hostPwc_->lookups());
+    }
+    counter("walker.walks", walks());
+    counter("walker.faultsServiced", faultsServiced_);
+    counter("ranges.app.lookups", appRegisters_.lookups());
+    counter("ranges.app.hits", appRegisters_.hits());
+    if (appEngine_) {
+        counter("asap.app.triggers", appEngine_->triggers());
+        counter("asap.app.rangeHits", appEngine_->rangeHits());
+        counter("asap.app.attempted", appEngine_->attempted());
+        counter("asap.app.issued", appEngine_->issued());
+    }
+    if (hostEngine_) {
+        counter("asap.host.triggers", hostEngine_->triggers());
+        counter("asap.host.rangeHits", hostEngine_->rangeHits());
+        counter("asap.host.attempted", hostEngine_->attempted());
+        counter("asap.host.issued", hostEngine_->issued());
+    }
+}
+
+void
 Machine::refreshDescriptors()
 {
     appRegisters_.clear();
@@ -62,6 +135,8 @@ Machine::translateMiss(VirtAddr va, Cycles now)
             // walk-latency statistics, as in the paper's methodology.
             out.faulted = true;
             ++faultsServiced_;
+            if (sink_)
+                sink_->fault(now, va);
             system_.touch(va);
             nativeWalker_->walk(va, now, walk);
             panic_if(walk.fault, "fault persists after OS service");
@@ -69,18 +144,28 @@ Machine::translateMiss(VirtAddr va, Cycles now)
         out.walkLatency = walk.latency;
         out.translation = walk.translation;
         out.walk = &walk;
+        if (sink_) {
+            sink_->walkSpan(now, walk.latency, va, out.faulted,
+                            packWalkLevels(walk));
+        }
         tlb_.fill(va, walk.translation, &system_.appPt());
     } else {
         NestedWalkResult walk = nestedWalker_->walk(va, now);
         if (walk.fault) {
             out.faulted = true;
             ++faultsServiced_;
+            if (sink_)
+                sink_->fault(now, va);
             system_.touch(va);
             walk = nestedWalker_->walk(va, now);
             panic_if(walk.fault, "nested fault persists after service");
         }
         out.walkLatency = walk.latency;
         out.translation = walk.translation;
+        if (sink_) {
+            sink_->nestedWalkSpan(now, walk.latency, va, out.faulted,
+                                  walk.memAccesses);
+        }
         // Nested walks carry no per-level breakdown: out.walk stays
         // null.
         tlb_.fill(va, walk.translation, nullptr);

@@ -20,6 +20,8 @@
 #include "core/asap_engine.hh"
 #include "core/range_registers.hh"
 #include "mem/hierarchy.hh"
+#include "obs/registry.hh"
+#include "obs/trace_sink.hh"
 #include "sim/system.hh"
 #include "tlb/tlb.hh"
 #include "walk/nested_walker.hh"
@@ -140,6 +142,21 @@ class Machine
     std::uint64_t walks() const;
     std::uint64_t faults() const { return faultsServiced_; }
 
+    /**
+     * Attach (or detach, with nullptr) a walk-event trace sink,
+     * propagated to the memory hierarchy and the ASAP engines. The
+     * TLB-hit fast path in translate() is untouched — spans are only
+     * emitted from the out-of-line miss path, so an unattached (or
+     * disabled) sink costs the hot path nothing.
+     */
+    void attachTraceSink(obs::TraceSink *sink);
+
+    obs::TraceSink *traceSink() const { return sink_; }
+
+    /** Register this machine's component counters (caches, TLBs, PWCs,
+     *  MSHRs, walkers, ASAP engines) under stable dotted names. */
+    void registerCounters(obs::Registry &registry) const;
+
   private:
     /** TLB-miss path of translate(): the (possibly nested) walk. */
     TranslateResult translateMiss(VirtAddr va, Cycles now);
@@ -167,6 +184,8 @@ class Machine
     std::unique_ptr<NestedWalker> nestedWalker_;
 
     std::uint64_t faultsServiced_ = 0;
+
+    obs::TraceSink *sink_ = nullptr;
 };
 
 } // namespace asap

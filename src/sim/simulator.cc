@@ -39,7 +39,7 @@ Simulator::runPhase(std::uint64_t accesses, const RunConfig &config,
             // then cap the batch so the next one lands exactly on the
             // next event's offset. With no event stream (the static
             // path) none of this runs and batching is unchanged.
-            dyn_->applyDue(consumed_, stats.dyn);
+            dyn_->applyDue(consumed_, stats.dyn, now);
             const std::uint64_t gap = dyn_->gapUntilNext(consumed_);
             if (gap < batch)
                 batch = static_cast<std::size_t>(gap);
@@ -80,12 +80,16 @@ Simulator::runPhase(std::uint64_t accesses, const RunConfig &config,
                         ++stats.faults;
                     if (result.walked) {
                         stats.walkLatency.sample(walkLatency);
+                        stats.walkHist.sample(walkLatency);
                         if (result.walk) {
                             for (unsigned level = 1; level <= 5;
                                  ++level) {
                                 if (result.walk->requested[level]) {
                                     stats.levelDist[level].record(
                                         result.walk->servedBy[level]);
+                                    stats.levelHist[level].sample(
+                                        result.walk
+                                            ->levelLatency[level]);
                                 }
                             }
                         }
@@ -109,6 +113,7 @@ Simulator::runPhase(std::uint64_t accesses, const RunConfig &config,
                 // cpa * accesses, totalCycles = the three components.
                 stats.dataCycles += dataLatency;
                 stats.walkCycles += walkLatency;
+                stats.dataHist.sample(dataLatency);
             }
 
             // SMT co-runner: one random access per workload access
@@ -154,22 +159,32 @@ Simulator::run(const RunConfig &config)
                   appAllocator->releasedFrames()};
     }
 
+    const double phaseStart = obs::wallSeconds();
     if (config.perfectTlb) {
         runPhase<false, true>(config.warmupAccesses, config, cpa, rng,
                               corunnerRng, now, stats);
+        stats.profile.warmupSec = obs::wallSeconds() - phaseStart;
         runPhase<true, true>(config.measureAccesses, config, cpa, rng,
                              corunnerRng, now, stats);
     } else {
         runPhase<false, false>(config.warmupAccesses, config, cpa, rng,
                                corunnerRng, now, stats);
+        stats.profile.warmupSec = obs::wallSeconds() - phaseStart;
         runPhase<true, false>(config.measureAccesses, config, cpa, rng,
                               corunnerRng, now, stats);
     }
+    stats.profile.measureSec =
+        obs::wallSeconds() - phaseStart - stats.profile.warmupSec;
+    stats.profile.accessesPerSec =
+        stats.profile.measureSec > 0.0
+            ? static_cast<double>(config.measureAccesses) /
+                  stats.profile.measureSec
+            : 0.0;
 
     // Events scheduled exactly at the end of the stream still fire
     // (e.g. a final tenant departure).
     if (dyn_)
-        dyn_->applyDue(consumed_, stats.dyn);
+        dyn_->applyDue(consumed_, stats.dyn, now);
     dyn_ = nullptr;
 
     if (appAllocator) {
@@ -198,6 +213,42 @@ Simulator::run(const RunConfig &config)
     };
     stats.appAsap = engineStats(machine_.appEngine());
     stats.hostAsap = engineStats(machine_.hostEngine());
+
+    // Snapshot every registered component counter into the run's
+    // result — the sweep layer emits whatever appears here, so new
+    // counters need no per-experiment column wiring.
+    obs::Registry registry;
+    machine_.registerCounters(registry);
+    system_.registerCounters(registry);
+    stats.counters = registry.snapshot();
+    stats.counters.emplace_back("dyn.events", stats.dyn.events);
+    stats.counters.emplace_back("dyn.mmaps", stats.dyn.mmaps);
+    stats.counters.emplace_back("dyn.munmaps", stats.dyn.munmaps);
+    stats.counters.emplace_back("dyn.minorFaults",
+                                stats.dyn.minorFaults);
+    stats.counters.emplace_back("dyn.madviseFrees",
+                                stats.dyn.madviseFrees);
+    stats.counters.emplace_back("dyn.extends", stats.dyn.extends);
+    stats.counters.emplace_back("dyn.churnReleases",
+                                stats.dyn.churnReleases);
+    stats.counters.emplace_back("dyn.dataPagesFreed",
+                                stats.dyn.dataPagesFreed);
+    stats.counters.emplace_back("dyn.ptNodesFreed",
+                                stats.dyn.ptNodesFreed);
+    stats.counters.emplace_back("dyn.churnFramesReleased",
+                                stats.dyn.churnFramesReleased);
+    stats.counters.emplace_back("dyn.tlbInvalidated",
+                                stats.dyn.tlbInvalidated);
+    stats.counters.emplace_back("dyn.pwcInvalidated",
+                                stats.dyn.pwcInvalidated);
+    stats.counters.emplace_back("dyn.regionGrowthHoles",
+                                stats.dyn.regionGrowthHoles);
+    stats.counters.emplace_back("dyn.regionRelocations",
+                                stats.dyn.regionRelocations);
+    stats.counters.emplace_back("dyn.regionsReleased",
+                                stats.dyn.regionsReleased);
+    stats.counters.emplace_back("dyn.regionFramesReleased",
+                                stats.dyn.regionFramesReleased);
     return stats;
 }
 

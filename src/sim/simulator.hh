@@ -16,10 +16,15 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dyn/os_events.hh"
+#include "obs/histogram.hh"
+#include "obs/profile.hh"
 #include "sim/machine.hh"
 #include "sim/system.hh"
 #include "workloads/workload.hh"
@@ -65,6 +70,15 @@ struct RunStats
     /** Per-PT-level serving distribution (1D walks; Figure 9). */
     std::array<LevelDistribution, 6> levelDist{};
 
+    /** Full walk-latency distribution (p50/p90/p99/p99.9; Figure 3's
+     *  shape, which the SampleStat mean cannot carry). */
+    obs::Histogram walkHist;
+    /** Data-access (non-walk) latency distribution. */
+    obs::Histogram dataHist;
+    /** Cycles each PT level contributed to the serial chase (1D walks;
+     *  the distribution behind Figure 9's mean shares). */
+    std::array<obs::Histogram, 6> levelHist{};
+
     std::uint64_t totalCycles = 0;
     std::uint64_t walkCycles = 0;
     std::uint64_t dataCycles = 0;
@@ -77,6 +91,15 @@ struct RunStats
     /** OS-dynamics activity (all zero for static runs; see
      *  dyn/os_events.hh). */
     OsDynStats dyn;
+
+    /** End-of-run snapshot of every registered component counter
+     *  (obs::Registry; machine + system + dyn.*), in registration
+     *  order. Deterministic — safe for CSV columns. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+    /** Wall-clock self-profile (nondeterministic; JSON artifacts
+     *  only, never compared). */
+    obs::SelfProfile profile;
 
     double
     avgWalkLatency() const

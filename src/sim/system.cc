@@ -302,4 +302,42 @@ System::hostDescriptors() const
                                nativeRegionBase);
 }
 
+void
+System::registerCounters(obs::Registry &registry) const
+{
+    const auto counter = [&registry](const char *name,
+                                     std::uint64_t value) {
+        registry.add(name, [value] { return value; });
+    };
+    counter("buddy.totalFrames", machineFrames_->totalFrames());
+    counter("buddy.freeFrames", machineFrames_->freeFrames());
+    counter("buddy.allocatedFrames", machineFrames_->allocatedFrames());
+    counter("buddy.churnHeldBlocks", machineFrames_->churnHeldBlocks());
+    if (guestFrames_) {
+        counter("buddy.guest.freeFrames", guestFrames_->freeFrames());
+        counter("buddy.guest.allocatedFrames",
+                guestFrames_->allocatedFrames());
+    }
+    counter("os.pageFaults", appSpace_->pageFaults());
+    counter("os.touchedPages", appSpace_->touchedPages());
+    counter("os.relocations", appSpace_->relocations());
+    if (appAsap_) {
+        counter("asapAlloc.app.reservedFrames",
+                appAsap_->reservedFrames());
+        counter("asapAlloc.app.regionAllocs", appAsap_->regionAllocs());
+        counter("asapAlloc.app.fallbackAllocs",
+                appAsap_->fallbackAllocs());
+        counter("asapAlloc.app.failedReservations",
+                appAsap_->failedReservations());
+    }
+    if (hostAsap_) {
+        counter("asapAlloc.host.reservedFrames",
+                hostAsap_->reservedFrames());
+        counter("asapAlloc.host.regionAllocs",
+                hostAsap_->regionAllocs());
+        counter("asapAlloc.host.fallbackAllocs",
+                hostAsap_->fallbackAllocs());
+    }
+}
+
 } // namespace asap

@@ -24,6 +24,7 @@
 
 #include "common/types.hh"
 #include "core/range_registers.hh"
+#include "obs/registry.hh"
 #include "os/address_space.hh"
 #include "os/buddy_allocator.hh"
 #include "os/pt_allocators.hh"
@@ -175,6 +176,10 @@ class System : public HostBacking
     /** Machine-physical bytes (co-runner address range). */
     std::uint64_t machineMemBytes() const
     { return config_.machineMemBytes; }
+
+    /** Register the OS-side counters (buddy allocator, address spaces,
+     *  ASAP PT allocators) under stable dotted names. */
+    void registerCounters(obs::Registry &registry) const;
 
     /**
      * Attach (or detach, with nullptr) a recorder observing mmap/touch.

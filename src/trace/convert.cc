@@ -1,9 +1,11 @@
 #include "trace/convert.hh"
 
 #include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/histogram.hh"
 #include "sim/environment.hh"
 #include "trace/setup_capture.hh"
 #include "workloads/trace.hh"
@@ -293,6 +295,67 @@ traceSummary(const TraceFile &trace)
                          static_cast<double>(stored)
                    : 0.0);
     }
+    return out;
+}
+
+namespace
+{
+
+std::string
+histLine(const char *label, const obs::Histogram &hist)
+{
+    return strprintf("  %-21s p50 %-10lu p90 %-10lu p99 %-10lu "
+                     "max %-10lu (%lu samples)\n",
+                     label,
+                     static_cast<unsigned long>(hist.p50()),
+                     static_cast<unsigned long>(hist.p90()),
+                     static_cast<unsigned long>(hist.p99()),
+                     static_cast<unsigned long>(hist.percentile(1.0)),
+                     static_cast<unsigned long>(hist.count()));
+}
+
+} // namespace
+
+std::string
+traceAccessStats(const TraceFile &trace)
+{
+    obs::Histogram stride;     // |Δva| between consecutive accesses
+    obs::Histogram reuse;      // accesses since the same page's last touch
+    obs::Histogram touches;    // touches per distinct page
+    std::unordered_map<Vpn, std::uint64_t> lastTouch;
+    std::unordered_map<Vpn, std::uint64_t> touchCount;
+
+    TraceCursor cursor(trace);
+    const std::uint64_t accesses = trace.header().accessCount;
+    VirtAddr prev = 0;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        const VirtAddr va = cursor.next();
+        if (i > 0) {
+            stride.sample(va > prev ? va - prev : prev - va);
+        }
+        prev = va;
+        const Vpn page = va >> pageShift;
+        const auto last = lastTouch.find(page);
+        if (last != lastTouch.end())
+            reuse.sample(i - last->second);
+        lastTouch[page] = i;
+        ++touchCount[page];
+    }
+    for (const auto &[page, count] : touchCount)
+        touches.sample(count);
+
+    std::string out = strprintf("%s: access-pattern statistics "
+                                "(%lu stored accesses)\n",
+                                trace.path().c_str(),
+                                static_cast<unsigned long>(accesses));
+    out += histLine("stride (bytes)", stride);
+    out += histLine("reuse interval (accs)", reuse);
+    out += histLine("touches per page", touches);
+    out += strprintf("  footprint             %zu distinct pages "
+                     "(%lu KiB)\n",
+                     touchCount.size(),
+                     static_cast<unsigned long>(
+                         (touchCount.size() * pageSize) >> 10));
     return out;
 }
 

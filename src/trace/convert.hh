@@ -85,6 +85,14 @@ ImportSummary importTrace(const TraceImporter &importer,
 std::string traceSummary(const TraceFile &trace);
 
 /**
+ * Access-pattern statistics of the stored address stream (--stats):
+ * stride, reuse-interval and per-page touch-count distributions
+ * (obs::Histogram percentiles) plus the distinct-page footprint. One
+ * decode pass over the stream.
+ */
+std::string traceAccessStats(const TraceFile &trace);
+
+/**
  * Replay both traces on a fresh native System with the paper-default
  * machine and compare RunStats field by field. @p report receives a
  * one-line-per-field account of any mismatch. Only meaningful when

@@ -32,7 +32,8 @@ PageWalker::walk(VirtAddr va, Cycles now, WalkResult &result)
         result.latency += pwc_.latency();
         for (unsigned skipped = hit.level; skipped <= pt_.levels();
              ++skipped) {
-            result.record(skipped, MemLevel::Pwc);
+            result.record(skipped, MemLevel::Pwc,
+                          skipped == hit.level ? pwc_.latency() : 0);
         }
         level = hit.level - 1;
         nodeIndex = hit.childIndex != invalidPtNodeIndex
@@ -52,7 +53,7 @@ PageWalker::walk(VirtAddr va, Cycles now, WalkResult &result)
         const AccessResult access = mem_.access(tagPa,
                                                 now + result.latency);
         result.latency += access.latency;
-        result.record(level, access.servedBy);
+        result.record(level, access.servedBy, access.latency);
 
         const Pte entry = node.entries[slot];
         if (!entry.present()) {

@@ -51,12 +51,17 @@ struct WalkResult
     /** Per-PT-level serving information (Figure 9). Index by level. */
     std::array<MemLevel, 6> servedBy{};
     std::array<bool, 6> requested{};
+    /** Cycles each level contributed to the serial chase (a PWC hit is
+     *  charged to the deepest level it skipped to; the other skipped
+     *  levels cost nothing extra). */
+    std::array<Cycles, 6> levelLatency{};
 
     void
-    record(unsigned level, MemLevel by)
+    record(unsigned level, MemLevel by, Cycles latency = 0)
     {
         servedBy[level] = by;
         requested[level] = true;
+        levelLatency[level] = latency;
     }
 };
 

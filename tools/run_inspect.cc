@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Run one (workload, environment) cell with the walk-event trace sink
+ * attached and export what happened:
+ *
+ *   run_inspect --spec mcf@tenants --env virt_2d_asap \
+ *       --events trace.json --summary
+ *
+ * --events writes Chrome trace-event JSON (load in Perfetto or
+ * chrome://tracing; simulated cycles render as microseconds, one
+ * "thread" per machine dimension). --summary prints per-kind event
+ * counts plus the run's headline statistics and latency percentiles.
+ *
+ * The workload spec is anything specByName accepts (suite names,
+ * name@dynprofile, trace:path); the environment is a named preset over
+ * the same EnvironmentOptions/MachineConfig plumbing the sweeps use.
+ * ASAP_QUICK=1 applies the standard quick-mode scaling.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.hh"
+#include "sim/environment.hh"
+#include "workloads/suite.hh"
+
+using namespace asap;
+
+namespace
+{
+
+struct EnvPreset
+{
+    const char *name;
+    const char *blurb;
+    EnvironmentOptions env;
+    MachineConfig machine;
+    bool colocation = false;
+};
+
+std::vector<EnvPreset>
+envPresets()
+{
+    std::vector<EnvPreset> presets;
+
+    EnvPreset native;
+    native.name = "native";
+    native.blurb = "native 1D walks, no prefetching";
+    presets.push_back(native);
+
+    EnvPreset nativeAsap;
+    nativeAsap.name = "native_asap";
+    nativeAsap.blurb = "native, ASAP placement + P1+P2 prefetching";
+    nativeAsap.env.asapPlacement = true;
+    nativeAsap.machine = makeMachineConfig(AsapConfig::p1p2());
+    presets.push_back(nativeAsap);
+
+    EnvPreset virt;
+    virt.name = "virt_2d";
+    virt.blurb = "virtualized 2D walks, no prefetching";
+    virt.env.virtualized = true;
+    presets.push_back(virt);
+
+    EnvPreset virtAsap;
+    virtAsap.name = "virt_2d_asap";
+    virtAsap.blurb = "virtualized, guest+host ASAP (all four prefetchers)";
+    virtAsap.env.virtualized = true;
+    virtAsap.env.asapPlacement = true;
+    virtAsap.machine =
+        makeMachineConfig(AsapConfig::p1p2(), AsapConfig::p1p2());
+    presets.push_back(virtAsap);
+
+    EnvPreset hugepage;
+    hugepage.name = "virt_hugepage_asap";
+    hugepage.blurb = "virtualized, 2MB host pages, guest+host ASAP";
+    hugepage.env.virtualized = true;
+    hugepage.env.hostHugePages = true;
+    hugepage.env.asapPlacement = true;
+    hugepage.machine =
+        makeMachineConfig(AsapConfig::p1p2(), AsapConfig::p2());
+    presets.push_back(hugepage);
+
+    EnvPreset clustered;
+    clustered.name = "clustered_l2";
+    clustered.blurb = "native, clustered L2 TLB";
+    clustered.machine.tlb.clusteredL2 = true;
+    presets.push_back(clustered);
+
+    EnvPreset coloc;
+    coloc.name = "coloc_asap";
+    coloc.blurb = "native ASAP under SMT colocation";
+    coloc.env.asapPlacement = true;
+    coloc.machine = makeMachineConfig(AsapConfig::p1p2());
+    coloc.colocation = true;
+    presets.push_back(coloc);
+
+    return presets;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --spec <workload> --env <preset> [options]\n"
+        "\n"
+        "  --spec NAME     workload (suite name, name@dynprofile, or\n"
+        "                  trace:path — anything a sweep accepts)\n"
+        "  --env NAME      environment preset (see below)\n"
+        "  --events PATH   write Chrome trace-event JSON (Perfetto)\n"
+        "  --summary       print per-kind event counts and run stats\n"
+        "  --seed N        run seed (default 7)\n"
+        "  --accesses N    measured accesses (default: RunConfig default;\n"
+        "                  ASAP_QUICK=1 shrinks it)\n"
+        "  --capacity N    trace-ring capacity in events (default %zu)\n"
+        "\n"
+        "environment presets:\n",
+        argv0, obs::TraceSink::defaultCapacity);
+    for (const EnvPreset &preset : envPresets())
+        std::fprintf(stderr, "  %-20s %s\n", preset.name, preset.blurb);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string specName;
+    std::string envName;
+    std::string eventsPath;
+    bool summary = false;
+    std::uint64_t seed = 7;
+    std::uint64_t accesses = 0;
+    std::size_t capacity = obs::TraceSink::defaultCapacity;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+            specName = argv[++i];
+        } else if (std::strcmp(argv[i], "--env") == 0 && i + 1 < argc) {
+            envName = argv[++i];
+        } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+            eventsPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--summary") == 0) {
+            summary = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--accesses") == 0 &&
+                   i + 1 < argc) {
+            accesses = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--capacity") == 0 &&
+                   i + 1 < argc) {
+            capacity = std::strtoull(argv[++i], nullptr, 0);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (specName.empty() || envName.empty())
+        return usage(argv[0]);
+    if (eventsPath.empty() && !summary)
+        summary = true;   // asking for nothing means "tell me about it"
+
+    const auto spec = specByName(specName);
+    if (!spec) {
+        std::fprintf(stderr, "run_inspect: unknown workload '%s'\n",
+                     specName.c_str());
+        return 2;
+    }
+    const std::vector<EnvPreset> presets = envPresets();
+    const EnvPreset *preset = nullptr;
+    for (const EnvPreset &candidate : presets) {
+        if (envName == candidate.name)
+            preset = &candidate;
+    }
+    if (!preset) {
+        std::fprintf(stderr, "run_inspect: unknown environment '%s'\n",
+                     envName.c_str());
+        return 2;
+    }
+    const EnvPreset &chosen = *preset;
+
+    Environment environment(*spec, chosen.env);
+    RunConfig run = defaultRunConfig(chosen.colocation, seed);
+    if (accesses != 0)
+        run.measureAccesses = accesses;
+
+    obs::TraceSink sink(capacity);
+    sink.setEnabled(true);
+    const RunStats stats = environment.run(chosen.machine, run, &sink);
+
+    if (!eventsPath.empty()) {
+        sink.writeChromeJson(eventsPath);
+        std::printf("%s: %llu events (%llu dropped)\n", eventsPath.c_str(),
+                    static_cast<unsigned long long>(sink.emitted()),
+                    static_cast<unsigned long long>(sink.dropped()));
+    }
+    if (summary) {
+        std::printf("%s @ %s: %llu accesses, %llu walks, "
+                    "avg walk %.1f cycles\n",
+                    specName.c_str(), chosen.name,
+                    static_cast<unsigned long long>(stats.accesses),
+                    static_cast<unsigned long long>(
+                        stats.walkLatency.count()),
+                    stats.avgWalkLatency());
+        std::printf("walk latency  p50 %llu  p90 %llu  p99 %llu  "
+                    "p99.9 %llu cycles\n",
+                    static_cast<unsigned long long>(stats.walkHist.p50()),
+                    static_cast<unsigned long long>(stats.walkHist.p90()),
+                    static_cast<unsigned long long>(stats.walkHist.p99()),
+                    static_cast<unsigned long long>(stats.walkHist.p999()));
+        std::printf("data latency  p50 %llu  p99 %llu cycles\n",
+                    static_cast<unsigned long long>(stats.dataHist.p50()),
+                    static_cast<unsigned long long>(stats.dataHist.p99()));
+        std::printf("self-profile  setup %.2fs  warmup %.2fs  "
+                    "measure %.2fs  %.0f acc/s  peak RSS %.1f MiB\n",
+                    stats.profile.envSetupSec, stats.profile.warmupSec,
+                    stats.profile.measureSec, stats.profile.accessesPerSec,
+                    static_cast<double>(stats.profile.peakRssBytes) /
+                        (1024.0 * 1024.0));
+        std::fputs(sink.summary().c_str(), stdout);
+    }
+    return 0;
+}

@@ -143,6 +143,7 @@ main(int argc, char **argv)
             return usage(argv[0]);
         const TraceFile trace(in);
         std::fputs(traceSummary(trace).c_str(), stdout);
+        std::fputs(traceAccessStats(trace).c_str(), stdout);
         return 0;
     }
 
@@ -205,6 +206,7 @@ main(int argc, char **argv)
     if (stats) {
         const TraceFile trace(out);
         std::fputs(traceSummary(trace).c_str(), stdout);
+        std::fputs(traceAccessStats(trace).c_str(), stdout);
     }
 
     if (verify) {
