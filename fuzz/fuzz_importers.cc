@@ -1,0 +1,20 @@
+/**
+ * @file
+ * libFuzzer target for the external-trace importers (text, ChampSim,
+ * drmemtrace, gem5 parsers plus format auto-detection). Build with
+ * -DASAP_FUZZ=ON (clang); run over the seed corpus:
+ *
+ *   ./build/fuzz_importers fuzz/corpus/importers
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/fuzz_entry.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    asap::fuzzImportersOneInput(data, size);
+    return 0;
+}

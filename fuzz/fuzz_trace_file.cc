@@ -1,0 +1,20 @@
+/**
+ * @file
+ * libFuzzer target for the trace-container surface (ASAPTRC1/2 load,
+ * setup-op validation, OS-event decode, address-stream decode). Build
+ * with -DASAP_FUZZ=ON (clang); run over the seed corpus:
+ *
+ *   ./build/fuzz_trace_file fuzz/corpus/trace_file
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/fuzz_entry.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    asap::fuzzTraceFileOneInput(data, size);
+    return 0;
+}

@@ -1,0 +1,148 @@
+#include "common/fault_inject.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace asap::fault
+{
+
+namespace
+{
+
+struct Rule
+{
+    std::string site;
+    std::uint64_t nth = 0;    ///< 1-based first failing hit
+    std::uint64_t count = 1;  ///< consecutive failing hits
+};
+
+struct State
+{
+    std::vector<Rule> rules;
+    std::map<std::string, std::uint64_t> hits;
+};
+
+std::mutex stateMutex;
+State state;
+/** Fast-path gate: probes bail on one relaxed load when nothing is
+ *  armed, so injection costs nothing in normal runs. */
+std::atomic<bool> armedFlag{false};
+std::once_flag envOnce;
+
+/** Parse "site:nth[:count],..." — malformed entries are skipped with
+ *  no diagnostic channel here (the spec is a test/debug knob). */
+std::vector<Rule>
+parseSpec(const char *spec)
+{
+    std::vector<Rule> rules;
+    if (!spec)
+        return rules;
+    const char *p = spec;
+    while (*p) {
+        const char *end = std::strchr(p, ',');
+        std::string entry = end ? std::string(p, end - p) : std::string(p);
+        p = end ? end + 1 : p + entry.size();
+
+        auto firstColon = entry.find(':');
+        if (firstColon == std::string::npos || firstColon == 0)
+            continue;
+        Rule rule;
+        rule.site = entry.substr(0, firstColon);
+        char *numEnd = nullptr;
+        const char *nthStr = entry.c_str() + firstColon + 1;
+        rule.nth = std::strtoull(nthStr, &numEnd, 10);
+        if (numEnd == nthStr || rule.nth == 0)
+            continue;
+        if (*numEnd == ':') {
+            const char *countStr = numEnd + 1;
+            rule.count = std::strtoull(countStr, &numEnd, 10);
+            if (numEnd == countStr || rule.count == 0)
+                continue;
+        }
+        rules.push_back(std::move(rule));
+    }
+    return rules;
+}
+
+void
+armFromEnv()
+{
+    std::call_once(envOnce, [] {
+        const char *spec = std::getenv("ASAP_FAULT");
+        if (!spec || !*spec)
+            return;
+        std::lock_guard<std::mutex> lock(stateMutex);
+        state.rules = parseSpec(spec);
+        armedFlag.store(!state.rules.empty(), std::memory_order_relaxed);
+    });
+}
+
+} // namespace
+
+bool
+armed()
+{
+    armFromEnv();
+    return armedFlag.load(std::memory_order_relaxed);
+}
+
+bool
+shouldFail(const char *site)
+{
+    if (!armed())
+        return false;
+    std::lock_guard<std::mutex> lock(stateMutex);
+    std::uint64_t hit = ++state.hits[site];
+    for (const Rule &rule : state.rules) {
+        if (rule.site != site)
+            continue;
+        if (hit >= rule.nth && hit < rule.nth + rule.count)
+            return true;
+    }
+    return false;
+}
+
+void
+maybeFail(const char *site)
+{
+    if (shouldFail(site))
+        throwStatus(Status::unavailable(
+            strprintf("injected fault at %s", site)));
+}
+
+void
+maybeOom(const char *site)
+{
+    if (shouldFail(site))
+        throw std::bad_alloc();
+}
+
+std::uint64_t
+hitCount(const char *site)
+{
+    if (!armed())
+        return 0;
+    std::lock_guard<std::mutex> lock(stateMutex);
+    auto it = state.hits.find(site);
+    return it == state.hits.end() ? 0 : it->second;
+}
+
+void
+reconfigure(const char *spec)
+{
+    armFromEnv(); // consume the env once so it can't re-arm later
+    std::lock_guard<std::mutex> lock(stateMutex);
+    state.rules = parseSpec(spec && *spec ? spec : nullptr);
+    state.hits.clear();
+    armedFlag.store(!state.rules.empty(), std::memory_order_relaxed);
+}
+
+} // namespace asap::fault

@@ -62,6 +62,19 @@ class SampleStat
     std::uint64_t min() const { return count_ ? min_ : 0; }
     std::uint64_t max() const { return max_; }
 
+    /** Rebuild from serialized fields (sweep-journal resume). @p min
+     *  is the *reported* min, i.e. 0 stands for "empty" when count is
+     *  0 — the internal empty sentinel is restored in that case. */
+    void
+    restore(std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+            std::uint64_t max)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = count ? min : std::numeric_limits<std::uint64_t>::max();
+        max_ = max;
+    }
+
     double
     mean() const
     {
@@ -161,6 +174,16 @@ class LevelDistribution
         for (std::size_t i = 0; i < counts_.size(); ++i)
             counts_[i] += other.counts_[i];
         total_ += other.total_;
+    }
+
+    /** Rebuild one level's count from serialized fields (sweep-journal
+     *  resume); total_ tracks the sum of all set counts. */
+    void
+    restoreCount(MemLevel level, std::uint64_t count)
+    {
+        std::uint64_t &slot = counts_[static_cast<std::size_t>(level)];
+        total_ += count - slot;
+        slot = count;
     }
 
     /** "PWC 62.0% L1 20.1% L2 ..." one-line summary. */

@@ -1,0 +1,75 @@
+#include "common/status.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace asap
+{
+
+namespace
+{
+
+/**
+ * Recoverable errors are meant to be caught — the CLI mains and the
+ * sweep runner do — but a binary that lets a StatusError escape main
+ * (the figure/table benchmarks take their inputs from trusted code
+ * and do not wrap main) should still die like the old fatal() path:
+ * one "fatal:" line on stderr and exit(1), not std::terminate's
+ * unhandled-exception banner plus SIGABRT.
+ */
+[[noreturn]] void
+statusTerminateHandler()
+{
+    if (std::current_exception()) {
+        try {
+            throw;
+        } catch (const StatusError &error) {
+            std::fprintf(stderr, "fatal: %s\n", error.what());
+            std::fflush(stderr);
+            std::_Exit(1);
+        } catch (...) {
+            // Not ours; fall through to the default abort.
+        }
+    }
+    std::abort();
+}
+
+const bool terminateHandlerInstalled = [] {
+    std::set_terminate(statusTerminateHandler);
+    return true;
+}();
+
+} // namespace
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::NotFound: return "NOT_FOUND";
+      case StatusCode::DataLoss: return "DATA_LOSS";
+      case StatusCode::ResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::Unavailable: return "UNAVAILABLE";
+      case StatusCode::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::Cancelled: return "CANCELLED";
+      case StatusCode::Internal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    std::string out = statusCodeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace asap

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "trace/format.hh"
 
 namespace asap
@@ -49,49 +50,83 @@ OsEventStream::decode(const std::uint8_t *begin, const std::uint8_t *end,
 {
     OsEventStream stream;
     const std::uint8_t *cursor = begin;
-    const std::uint64_t count = decodeVarint(cursor, end, path);
+    const std::uint64_t count = decodeVarint(cursor, end, path, begin);
     // Each event costs at least 7 bytes; an absurd count means a
     // corrupt stream, not a big one.
-    fatal_if(count > static_cast<std::uint64_t>(end - cursor),
-             "%s: implausible OS-event count %lu", path,
-             static_cast<unsigned long>(count));
+    input_error_if(count > static_cast<std::uint64_t>(end - cursor),
+                   "%s: implausible OS-event count %lu", path,
+                   static_cast<unsigned long>(count));
     std::unordered_set<std::uint64_t> defined;
     std::uint64_t at = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
-        fatal_if(cursor >= end, "%s: truncated OS-event stream", path);
+        const std::uint64_t eventOffset =
+            static_cast<std::uint64_t>(cursor - begin);
+        input_error_if(cursor >= end,
+                       "%s: truncated OS-event stream at byte offset "
+                       "%llu",
+                       path,
+                       static_cast<unsigned long long>(eventOffset));
         OsEvent event;
         const std::uint8_t kind = *cursor++;
-        fatal_if(kind > static_cast<std::uint8_t>(
-                            OsEventKind::ReleaseChurn),
-                 "%s: unknown OS-event kind %u", path,
-                 static_cast<unsigned>(kind));
+        input_error_if(kind > static_cast<std::uint8_t>(
+                                  OsEventKind::ReleaseChurn),
+                       "%s: unknown OS-event kind %u at byte offset "
+                       "%llu",
+                       path, static_cast<unsigned>(kind),
+                       static_cast<unsigned long long>(eventOffset));
         event.kind = static_cast<OsEventKind>(kind);
-        at += decodeVarint(cursor, end, path);
+        const std::uint64_t atDelta = decodeVarint(cursor, end, path,
+                                                   begin);
+        input_error_if(atDelta > UINT64_MAX - at,
+                       "%s: OS-event access offset overflows at byte "
+                       "offset %llu",
+                       path,
+                       static_cast<unsigned long long>(eventOffset));
+        at += atDelta;
         event.atAccess = at;
-        const std::uint64_t handlePlus1 = decodeVarint(cursor, end, path);
+        const std::uint64_t handlePlus1 = decodeVarint(cursor, end, path,
+                                                       begin);
         event.handle = handlePlus1 == 0 ? noOsHandle : handlePlus1 - 1;
-        event.addr = decodeVarint(cursor, end, path);
-        event.pages = decodeVarint(cursor, end, path);
-        event.bytes = decodeVarint(cursor, end, path);
-        fatal_if(cursor >= end, "%s: truncated OS-event stream", path);
+        event.addr = decodeVarint(cursor, end, path, begin);
+        event.pages = decodeVarint(cursor, end, path, begin);
+        event.bytes = decodeVarint(cursor, end, path, begin);
+        input_error_if(cursor >= end,
+                       "%s: truncated OS-event stream at byte offset "
+                       "%llu",
+                       path,
+                       static_cast<unsigned long long>(eventOffset));
         event.prefetchable = *cursor++ != 0;
 
+        // Validate here what add() treats as programming errors, so
+        // corrupt external bytes surface as input errors, not aborts.
         if (event.kind == OsEventKind::Mmap) {
-            fatal_if(event.handle == noOsHandle,
-                     "%s: mmap event without a handle", path);
-            fatal_if(!defined.insert(event.handle).second,
-                     "%s: OS-event handle %lu defined twice", path,
-                     static_cast<unsigned long>(event.handle));
+            input_error_if(event.bytes == 0,
+                           "%s: mmap event without a size at byte "
+                           "offset %llu",
+                           path,
+                           static_cast<unsigned long long>(eventOffset));
+            input_error_if(event.handle == noOsHandle,
+                           "%s: mmap event without a handle", path);
+            input_error_if(!defined.insert(event.handle).second,
+                           "%s: OS-event handle %lu defined twice", path,
+                           static_cast<unsigned long>(event.handle));
         } else if (event.handle != noOsHandle) {
-            fatal_if(!defined.count(event.handle),
-                     "%s: OS event uses undefined handle %lu", path,
-                     static_cast<unsigned long>(event.handle));
+            input_error_if(!defined.count(event.handle),
+                           "%s: OS event uses undefined handle %lu",
+                           path,
+                           static_cast<unsigned long>(event.handle));
         }
+        input_error_if(event.kind == OsEventKind::ReleaseChurn &&
+                           event.pages > 1000,
+                       "%s: release-churn permille %lu > 1000 at byte "
+                       "offset %llu",
+                       path, static_cast<unsigned long>(event.pages),
+                       static_cast<unsigned long long>(eventOffset));
         stream.add(event);
     }
-    fatal_if(cursor != end,
-             "%s: %lu bytes left over after the OS-event stream", path,
-             static_cast<unsigned long>(end - cursor));
+    input_error_if(cursor != end,
+                   "%s: %lu bytes left over after the OS-event stream",
+                   path, static_cast<unsigned long>(end - cursor));
     return stream;
 }
 

@@ -134,8 +134,9 @@ class OsEventStream
     /** Serialize (encoding in the file comment). */
     std::string encode() const;
 
-    /** Parse an encoded stream; fatal() (naming @p path) on malformed
-     *  bytes, undefined handles, or decreasing offsets. */
+    /** Parse an encoded stream; throws StatusError (DataLoss, naming
+     *  @p path) on malformed bytes, undefined handles, or decreasing
+     *  offsets. */
     static OsEventStream decode(const std::uint8_t *begin,
                                 const std::uint8_t *end,
                                 const char *path);

@@ -1,12 +1,19 @@
 #include "exp/sweep.hh"
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 
+#include "common/fault_inject.hh"
 #include "common/logging.hh"
+#include "exp/journal.hh"
 #include "exp/result_table.hh"
 #include "exp/thread_pool.hh"
 #include "trace/trace_file.hh"
@@ -183,6 +190,22 @@ sortedExtraKeys(const std::vector<CellResult> &cells)
     return {keys.begin(), keys.end()};
 }
 
+/** The status column value: "OK", or the failure's code and message
+ *  with CSV-hostile characters folded to ';' so one cell stays one
+ *  field on one line. */
+std::string
+statusField(const Status &status)
+{
+    if (status.ok())
+        return "OK";
+    std::string text = status.toString();
+    for (char &c : text) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r')
+            c = ';';
+    }
+    return text;
+}
+
 } // namespace
 
 std::string
@@ -190,7 +213,7 @@ ResultSet::toCsv() const
 {
     const auto extraKeys = sortedExtraKeys(cells_);
     const auto ctrKeys = counterKeys(cells_);
-    std::string out = "row,column,measured";
+    std::string out = "row,column,measured,status";
     for (const auto &[name, metric] : cellStatColumns())
         out += std::string(",") + name;
     for (const std::string &key : ctrKeys)
@@ -200,7 +223,7 @@ ResultSet::toCsv() const
     out += '\n';
     for (const CellResult &cell : cells_) {
         out += cell.row + "," + cell.column + "," +
-               (cell.measured ? "1" : "0");
+               (cell.measured ? "1" : "0") + "," + statusField(cell.status);
         for (const auto &[name, metric] : cellStatColumns())
             out += "," + Json::numberToString(cell.measured ? metric(cell)
                                                             : 0.0);
@@ -230,6 +253,9 @@ ResultSet::toJson(bool withProfile) const
         entry.set("row", cell.row);
         entry.set("column", cell.column);
         entry.set("measured", cell.measured);
+        entry.set("status", cell.status.ok() ? std::string("OK")
+                                             : cell.status.toString());
+        entry.set("attempts", static_cast<double>(cell.attempts));
         if (cell.measured) {
             Json stats = Json::object();
             for (const auto &[name, metric] : cellStatColumns())
@@ -344,9 +370,16 @@ runMutatesEnvironment(const WorkloadSpec &spec)
     std::lock_guard<std::mutex> lock(mutex);
     auto it = cache.find(spec.tracePath);
     if (it == cache.end()) {
-        it = cache.emplace(spec.tracePath,
-                           TraceFile(spec.tracePath).hasEventOps())
-                 .first;
+        bool mutates;
+        try {
+            mutates = TraceFile(spec.tracePath).hasEventOps();
+        } catch (const StatusError &) {
+            // Unreadable/corrupt trace: privatize, so the load failure
+            // surfaces as that cell's own error cell instead of taking
+            // down whatever group it would have joined.
+            mutates = true;
+        }
+        it = cache.emplace(spec.tracePath, mutates).first;
     }
     return it->second;
 }
@@ -398,6 +431,101 @@ reportGroupDone(unsigned done, unsigned total, const std::string &label)
     inform("[%u/%u] %s done", done, total, label.c_str());
 }
 
+/** Fault-isolation policy, re-read from the environment on every run()
+ *  so tests can flip the knobs between sweeps. */
+struct SweepPolicy
+{
+    unsigned maxAttempts = 3;   ///< 1 + ASAP_CELL_RETRIES (default 2)
+    unsigned retryBaseMs = 100; ///< ASAP_RETRY_BASE_MS; doubles per retry
+    unsigned timeoutSec = 0;    ///< ASAP_CELL_TIMEOUT; 0 disables
+    bool resume = false;        ///< ASAP_RESUME
+};
+
+SweepPolicy
+policyFromEnv()
+{
+    SweepPolicy policy;
+    if (const char *env = std::getenv("ASAP_CELL_RETRIES"))
+        policy.maxAttempts =
+            1 + static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (const char *env = std::getenv("ASAP_RETRY_BASE_MS"))
+        policy.retryBaseMs =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (const char *env = std::getenv("ASAP_CELL_TIMEOUT"))
+        policy.timeoutSec =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (const char *env = std::getenv("ASAP_RESUME"))
+        policy.resume = env[0] != '\0' && env[0] != '0';
+    return policy;
+}
+
+/** Set by the SIGINT/SIGTERM handler installed around journaled
+ *  sweeps; group loops stop between cells when it goes nonzero. */
+volatile std::sig_atomic_t stopSignal = 0;
+
+extern "C" void
+onStopSignal(int sig)
+{
+    stopSignal = sig;
+}
+
+/** The identity a journal record must match to be replayed: the full
+ *  environment signature plus the cell's labels, mode, and derived
+ *  seed. (Machine/run config changes that keep these equal are not
+ *  detected — rename the sweep or drop the journal when re-tuning.) */
+std::uint64_t
+cellKey(const Cell &cell, std::uint64_t seed)
+{
+    return fnv1a64(environmentKey(cell.spec, cell.env) + "|" + cell.row +
+                   "|" + cell.column +
+                   strprintf("|%llu|%c",
+                             static_cast<unsigned long long>(seed),
+                             cell.measure ? 'm' : 'p'));
+}
+
+/**
+ * One guarded execution attempt for one cell. Everything the attempt
+ * touches is owned through shared_ptr (a private copy of the Cell, a
+ * scratch result, the group's environment slot): when a timed-out
+ * attempt is abandoned, the zombie thread keeps its captures alive and
+ * cannot race anything the runner still uses. Returns OK with @p
+ * scratch filled, or the failure (StatusError payloads, bad_alloc as
+ * RESOURCE_EXHAUSTED, anything else as INTERNAL — see runToStatus).
+ */
+Status
+runCellAttempt(const std::shared_ptr<const Cell> &cell,
+               std::uint64_t seed,
+               const std::shared_ptr<std::shared_ptr<Environment>> &envSlot,
+               const std::shared_ptr<CellResult> &scratch,
+               const std::shared_ptr<std::atomic<bool>> &cancelled)
+{
+    return runToStatus([&] {
+        fault::maybeFail("cell");
+        if (fault::shouldFail("cell-hang")) {
+            // Deterministic "stuck cell": bounded so an un-timed-out
+            // run still terminates, cooperative so a timed-out zombie
+            // exits as soon as the runner abandons it.
+            for (unsigned i = 0; i < 600 && !cancelled->load(); ++i)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+        }
+        // Lazy so an Environment construction failure (corrupt trace,
+        // injected allocation failure) is charged to the cell being
+        // attempted, not to the whole group up front.
+        if (!*envSlot)
+            *envSlot = std::make_shared<Environment>(cell->spec,
+                                                     cell->env);
+        if (cell->measure) {
+            RunConfig run = cell->run;
+            run.seed = seed;
+            scratch->stats = (*envSlot)->run(cell->machine, run);
+            scratch->measured = true;
+        }
+        if (cell->probe)
+            cell->probe(**envSlot, *scratch);
+    });
+}
+
 } // namespace
 
 ResultSet
@@ -405,14 +533,19 @@ SweepRunner::run(const SweepSpec &spec) const
 {
     const std::vector<Cell> &cells = spec.cells();
     std::vector<CellResult> results(cells.size());
+    const SweepPolicy policy = policyFromEnv();
 
     // Per-cell seeds, derived deterministically from the cell index so
     // they do not depend on grouping or scheduling.
     std::vector<std::uint64_t> seeds(cells.size());
+    std::vector<std::uint64_t> keys(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
         seeds[i] = spec.baseSeed() != 0
                        ? mix64(spec.baseSeed() ^ (i + 1))
                        : cells[i].run.seed;
+        keys[i] = cellKey(cells[i], seeds[i]);
+        results[i].row = cells[i].row;
+        results[i].column = cells[i].column;
     }
 
     // Group cells sharing an Environment; groups keep declaration
@@ -427,37 +560,177 @@ SweepRunner::run(const SweepSpec &spec) const
         groups[key].push_back(i);
     }
 
+    // Crash-safe journal (fsync'd per cell). Resume granularity is the
+    // *group*: cells in a group share an Environment mutated by their
+    // predecessors, so replaying a partial group would hand later
+    // cells a fresher Environment than the uninterrupted run did.
+    // Only groups with every cell journaled are skipped; partial
+    // groups recompute (deterministically re-producing the journaled
+    // prefix), keeping resumed artifacts byte-identical.
+    CellJournal journal;
+    const bool journaled =
+        journal.open(spec.name(), cells.size(), policy.resume);
+    std::size_t resumedCells = 0;
+    std::vector<const std::vector<std::size_t> *> pending;
+    for (const auto &group : groups) {
+        const std::vector<std::size_t> &indices = group.second;
+        bool complete = policy.resume;
+        for (const std::size_t index : indices) {
+            complete = complete &&
+                       journal.find(index, keys[index]) != nullptr;
+        }
+        if (complete) {
+            for (const std::size_t index : indices) {
+                results[index] = *journal.find(index, keys[index]);
+                ++resumedCells;
+            }
+            continue;
+        }
+        pending.push_back(&indices);
+    }
+
+    // While the journal can make an interrupted sweep resumable, turn
+    // SIGINT/SIGTERM into "finish the cells in flight, flush, exit"
+    // instead of the default instant kill.
+    struct sigaction oldInt {};
+    struct sigaction oldTerm {};
+    if (journaled) {
+        stopSignal = 0;
+        struct sigaction action {};
+        action.sa_handler = onStopSignal;
+        sigaction(SIGINT, &action, &oldInt);
+        sigaction(SIGTERM, &action, &oldTerm);
+    }
+
     std::atomic<unsigned> completed{0};
-    const unsigned total = static_cast<unsigned>(groups.size());
+    std::atomic<unsigned> failedCells{0};
+    std::atomic<unsigned> retriedCells{0};
+    const unsigned total = static_cast<unsigned>(pending.size());
 
     ThreadPool pool(jobs_);
-    for (const auto &group : groups) {
+    for (const std::vector<std::size_t> *group : pending) {
         // (not a structured binding: capturing one in a lambda is
         // C++20-only, and this project builds as strict C++17)
-        const std::vector<std::size_t> &indices = group.second;
-        pool.submit([&cells, &results, &seeds, &indices, &completed,
-                     total] {
+        const std::vector<std::size_t> &indices = *group;
+        pool.submit([&cells, &results, &seeds, &keys, &indices,
+                     &completed, &failedCells, &retriedCells, &journal,
+                     &policy, total] {
             const Cell &first = cells[indices.front()];
-            Environment environment(first.spec, first.env);
+            // The group's Environment, double-indirected: the outer
+            // pointer is what a timed-out (zombie) attempt keeps; the
+            // runner swaps in a fresh slot after any failure so
+            // nothing ever shares a half-mutated or still-in-use
+            // Environment.
+            auto envSlot =
+                std::make_shared<std::shared_ptr<Environment>>();
             for (const std::size_t index : indices) {
+                if (stopSignal)
+                    break;
                 const Cell &cell = cells[index];
                 CellResult &result = results[index];
-                result.row = cell.row;
-                result.column = cell.column;
-                if (cell.measure) {
-                    RunConfig run = cell.run;
-                    run.seed = seeds[index];
-                    result.stats = environment.run(cell.machine, run);
-                    result.measured = true;
+                const auto cellCopy = std::make_shared<const Cell>(cell);
+                unsigned attempt = 0;
+                for (;;) {
+                    ++attempt;
+                    auto scratch = std::make_shared<CellResult>();
+                    scratch->row = cell.row;
+                    scratch->column = cell.column;
+                    auto cancelled =
+                        std::make_shared<std::atomic<bool>>(false);
+                    Status status;
+                    if (policy.timeoutSec == 0) {
+                        status = runCellAttempt(cellCopy, seeds[index],
+                                                envSlot, scratch,
+                                                cancelled);
+                    } else {
+                        auto task = std::make_shared<
+                            std::packaged_task<Status()>>(
+                            [cellCopy, seed = seeds[index], envSlot,
+                             scratch, cancelled] {
+                                return runCellAttempt(cellCopy, seed,
+                                                      envSlot, scratch,
+                                                      cancelled);
+                            });
+                        auto future = task->get_future();
+                        std::thread worker([task] { (*task)(); });
+                        if (future.wait_for(std::chrono::seconds(
+                                policy.timeoutSec)) ==
+                            std::future_status::timeout) {
+                            cancelled->store(true);
+                            worker.detach();
+                            status = Status::deadlineExceeded(strprintf(
+                                "cell exceeded ASAP_CELL_TIMEOUT=%us",
+                                policy.timeoutSec));
+                        } else {
+                            worker.join();
+                            status = future.get();
+                        }
+                    }
+                    if (status.ok()) {
+                        scratch->attempts = attempt;
+                        result = std::move(*scratch);
+                        break;
+                    }
+                    // Any failed attempt abandons the group's
+                    // Environment: a half-run (or still-hung) one is
+                    // not a reproducible starting state.
+                    envSlot = std::make_shared<
+                        std::shared_ptr<Environment>>();
+                    if (attempt >= policy.maxAttempts ||
+                        !status.transient()) {
+                        result.attempts = attempt;
+                        result.status = status;
+                        failedCells.fetch_add(1);
+                        warn("sweep cell (%s, %s) failed after %u "
+                             "attempt%s: %s",
+                             cell.row.c_str(), cell.column.c_str(),
+                             attempt, attempt == 1 ? "" : "s",
+                             status.toString().c_str());
+                        break;
+                    }
+                    retriedCells.fetch_add(1);
+                    const unsigned shift =
+                        attempt > 10 ? 10 : attempt - 1;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            static_cast<std::uint64_t>(
+                                policy.retryBaseMs)
+                            << shift));
                 }
-                if (cell.probe)
-                    cell.probe(environment, result);
+                journal.append(index, keys[index], result);
             }
             reportGroupDone(completed.fetch_add(1) + 1, total,
                             groupLabel(first.spec, first.env));
         });
     }
     pool.wait();
+
+    if (journaled) {
+        sigaction(SIGINT, &oldInt, nullptr);
+        sigaction(SIGTERM, &oldTerm, nullptr);
+        if (stopSignal) {
+            const int sig = static_cast<int>(stopSignal);
+            journal.close();
+            warn("sweep %s interrupted by signal %d; journal flushed — "
+                 "rerun with ASAP_RESUME=1 to continue",
+                 spec.name().c_str(), sig);
+            std::exit(128 + sig);
+        }
+        // A completed sweep's journal is rewritten in cell-index order:
+        // mid-run it is append-on-completion (thread-schedule
+        // dependent), and the results directory must stay byte-
+        // identical across ASAP_JOBS values like the artifacts.
+        journal.seal(keys, results);
+    }
+
+    const unsigned failed = failedCells.load();
+    const unsigned retried = retriedCells.load();
+    if (failed || retried || resumedCells) {
+        warn("sweep %s: %u cell%s failed, %u retried, %zu restored "
+             "from journal",
+             spec.name().c_str(), failed, failed == 1 ? "" : "s",
+             retried, resumedCells);
+    }
     return ResultSet(std::move(results));
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "exp/json.hh"
 #include "sim/environment.hh"
 
@@ -61,6 +62,16 @@ struct CellResult
     RunStats stats;
     /** Probe outputs (e.g. VMA counts), keyed by metric name. */
     std::map<std::string, double> extra;
+
+    /** OK for a completed cell; the failure otherwise (the cell is an
+     *  *error cell*: recorded in artifacts, stats all zero). */
+    Status status;
+    /** Execution attempts this cell took (0 = never ran, e.g. the
+     *  sweep was interrupted before reaching it; >1 = retried). */
+    unsigned attempts = 0;
+    /** Restored from the journal by ASAP_RESUME rather than executed.
+     *  Not emitted in artifacts (resume must stay byte-identical). */
+    bool resumed = false;
 };
 
 /**

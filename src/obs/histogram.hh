@@ -120,6 +120,16 @@ class Histogram
     std::uint64_t sum() const { return sum_; }
     std::uint64_t bucketCount(std::size_t i) const { return buckets_[i]; }
 
+    /** Rebuild from serialized buckets (sweep-journal resume): set one
+     *  bucket's raw count, then the totals. */
+    void setBucketCount(std::size_t i, std::uint64_t n) { buckets_[i] = n; }
+    void
+    setTotals(std::uint64_t count, std::uint64_t sum)
+    {
+        count_ = count;
+        sum_ = sum;
+    }
+
     double
     mean() const
     {

@@ -1,5 +1,7 @@
 #include "sim/environment.hh"
 
+#include "common/fault_inject.hh"
+
 #include <cstdlib>
 
 #include "obs/profile.hh"
@@ -34,6 +36,9 @@ Environment::Environment(const WorkloadSpec &spec,
     : spec_(applyQuickMode(spec)), options_(options)
 {
     const double start = obs::wallSeconds();
+    // Injection point for the allocation-failure recovery path: the
+    // prefaulted System is by far the biggest allocation in a cell.
+    fault::maybeOom("env-alloc");
     system_ = std::make_unique<System>(makeSystemConfig(spec_, options_));
     workload_ = makeWorkload(spec_);
     workload_->setup(*system_);

@@ -136,8 +136,8 @@ importTrace(const TraceImporter &importer, const std::string &inPath,
     MappedFile in(inPath);
     FootprintSink footprint;
     importer.parse(in.data(), in.size(), inPath.c_str(), footprint);
-    fatal_if(footprint.references() == 0, "%s: no memory references",
-             inPath.c_str());
+    input_error_if(footprint.references() == 0, "%s: no memory references",
+                   inPath.c_str());
     const std::uint64_t references = footprint.references();
     const std::vector<Vpn> pages = footprint.take();
 
@@ -252,6 +252,26 @@ importTrace(const TraceImporter &importer, const std::string &inPath,
     summary.footprintBytes = footprintBytes;
     summary.container = writer.finish();
     return summary;
+}
+
+Status
+tryConvertToV2(const std::string &inPath, const std::string &outPath,
+               Trc2Summary &summary, const Trc2Options &options)
+{
+    return runToStatus(
+        [&] { summary = convertToV2(inPath, outPath, options); });
+}
+
+Status
+tryImportTrace(const TraceImporter &importer, const std::string &inPath,
+               const std::string &outPath, ImportSummary &summary,
+               const ImportOptions &importOptions,
+               const Trc2Options &options)
+{
+    return runToStatus([&] {
+        summary = importTrace(importer, inPath, outPath, importOptions,
+                              options);
+    });
 }
 
 std::string

@@ -81,6 +81,21 @@ ImportSummary importTrace(const TraceImporter &importer,
                           const ImportOptions &importOptions = {},
                           const Trc2Options &options = {});
 
+/**
+ * Status-returning boundaries over convertToV2 / importTrace: any
+ * StatusError (corrupt input, I/O failure) or allocation failure comes
+ * back as an error Status instead of propagating. The summary output
+ * parameter is untouched on error.
+ */
+Status tryConvertToV2(const std::string &inPath,
+                      const std::string &outPath, Trc2Summary &summary,
+                      const Trc2Options &options = {});
+Status tryImportTrace(const TraceImporter &importer,
+                      const std::string &inPath,
+                      const std::string &outPath, ImportSummary &summary,
+                      const ImportOptions &importOptions = {},
+                      const Trc2Options &options = {});
+
 /** Human-readable multi-line summary of a trace file (--stats). */
 std::string traceSummary(const TraceFile &trace);
 

@@ -1,5 +1,6 @@
 #include "trace/format.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -7,6 +8,8 @@
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "common/fault_inject.hh"
 
 namespace asap
 {
@@ -62,10 +65,21 @@ bitsToDouble(std::uint64_t bits)
 
 MappedFile::MappedFile(const std::string &path) : path_(path)
 {
+    fault::maybeFail("file-open");
     const int fd = ::open(path.c_str(), O_RDONLY);
-    fatal_if(fd < 0, "cannot open %s", path.c_str());
+    if (fd < 0) {
+        const int err = errno;
+        if (err == ENOENT)
+            throwStatus(Status::notFound(strprintf(
+                "cannot open %s: %s", path.c_str(), std::strerror(err))));
+        io_error("cannot open %s: %s", path.c_str(), std::strerror(err));
+    }
     struct stat st;
-    fatal_if(::fstat(fd, &st) != 0, "cannot stat %s", path.c_str());
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        io_error("cannot stat %s: %s", path.c_str(), std::strerror(err));
+    }
     size_ = static_cast<std::uint64_t>(st.st_size);
 
     if (size_ == 0) {
@@ -74,23 +88,47 @@ MappedFile::MappedFile(const std::string &path) : path_(path)
         return;
     }
 
+    fault::maybeFail("file-read");
     void *map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
     if (map != MAP_FAILED) {
         data_ = static_cast<const std::uint8_t *>(map);
         mapped_ = true;
     } else {
-        fallback_.resize(size_);
+        const int mapErr = errno;
+        try {
+            fallback_.resize(size_);
+        } catch (const std::bad_alloc &) {
+            ::close(fd);
+            throwStatus(Status::resourceExhausted(strprintf(
+                "cannot map %s (%s) and cannot buffer %llu bytes in "
+                "memory either",
+                path.c_str(), std::strerror(mapErr),
+                static_cast<unsigned long long>(size_))));
+        }
         std::uint64_t got = 0;
         while (got < size_) {
             const ssize_t n =
                 ::pread(fd, fallback_.data() + got, size_ - got, got);
-            fatal_if(n <= 0, "cannot read %s", path.c_str());
+            if (n <= 0) {
+                const int err = errno;
+                ::close(fd);
+                io_error("cannot read %s at offset %llu: %s",
+                         path.c_str(),
+                         static_cast<unsigned long long>(got),
+                         n == 0 ? "unexpected end of file"
+                                : std::strerror(err));
+            }
             got += static_cast<std::uint64_t>(n);
         }
         data_ = fallback_.data();
     }
     ::close(fd);
 }
+
+MappedFile::MappedFile(const std::uint8_t *data, std::uint64_t size,
+                       std::string name)
+    : path_(std::move(name)), data_(data), size_(size)
+{}
 
 MappedFile::~MappedFile()
 {
@@ -99,14 +137,16 @@ MappedFile::~MappedFile()
 }
 
 void
-writeFileOrDie(const std::string &path, const std::string &bytes)
+writeFileOrThrow(const std::string &path, const std::string &bytes)
 {
     std::FILE *file = std::fopen(path.c_str(), "wb");
-    fatal_if(!file, "cannot write %s", path.c_str());
+    io_error_if(!file, "cannot write %s: %s", path.c_str(),
+                std::strerror(errno));
     const std::size_t written =
         std::fwrite(bytes.data(), 1, bytes.size(), file);
     const bool ok = written == bytes.size() && std::fclose(file) == 0;
-    fatal_if(!ok, "short write to %s", path.c_str());
+    io_error_if(!ok, "short write to %s: %s", path.c_str(),
+                std::strerror(errno));
 }
 
 } // namespace asap

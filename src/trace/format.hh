@@ -14,8 +14,11 @@
  *     sampled-stream mode.
  *
  * Everything here treats input as hostile: traces can come from
- * external converters, so malformed bytes must fatal() with a clear
- * message rather than read out of bounds.
+ * external converters, so malformed bytes must raise a recoverable
+ * input error (StatusError, see common/status.hh) with a clear message
+ * — never read out of bounds, never kill the process. Callers that
+ * want a Status instead of an exception go through the boundary
+ * wrappers (TraceFile::open, tryImportTrace, ...).
  */
 
 #ifndef ASAP_TRACE_FORMAT_HH
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace asap
 {
@@ -113,22 +117,40 @@ loadLe64(const std::uint8_t *p)
 /**
  * Decode one LEB128 varint, never reading at or past @p end. The two
  * compares per byte are noise next to the simulated access consuming
- * the value; @p path names the file in the failure message.
+ * the value; @p what names the file (and, for chunked containers, the
+ * chunk) in the failure message. When @p base is given the message
+ * also carries the byte offset of the bad varint relative to it, so a
+ * corrupt stream is locatable with xxd. Malformed input throws
+ * StatusError (DataLoss).
  */
 inline std::uint64_t
 decodeVarint(const std::uint8_t *&cursor, const std::uint8_t *end,
-             const char *path)
+             const char *what, const std::uint8_t *base = nullptr)
 {
     std::uint64_t v = 0;
     unsigned shift = 0;
+    const std::uint8_t *start = cursor;
     while (true) {
-        fatal_if(cursor >= end, "%s: truncated varint", path);
+        if (cursor >= end) {
+            if (base)
+                input_error("%s: truncated varint at byte offset %llu",
+                            what,
+                            static_cast<unsigned long long>(start - base));
+            input_error("%s: truncated varint", what);
+        }
         const std::uint8_t byte = *cursor++;
         v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
         if ((byte & 0x80) == 0)
             return v;
         shift += 7;
-        fatal_if(shift > 63, "%s: varint exceeds 64 bits", path);
+        if (shift > 63) {
+            if (base)
+                input_error(
+                    "%s: varint exceeds 64 bits at byte offset %llu",
+                    what,
+                    static_cast<unsigned long long>(start - base));
+            input_error("%s: varint exceeds 64 bits", what);
+        }
     }
 }
 
@@ -179,8 +201,10 @@ class ByteReader
     getString()
     {
         const std::uint32_t len = get32();
-        fatal_if(len > maxTraceStringLen,
-                 "%s: implausible string length %u", path_.c_str(), len);
+        input_error_if(len > maxTraceStringLen,
+                       "%s: implausible string length %u at offset %llu",
+                       path_.c_str(), len,
+                       static_cast<unsigned long long>(offset_ - 4));
         const std::uint8_t *p = skip(len);
         return std::string(reinterpret_cast<const char *>(p), len);
     }
@@ -192,12 +216,12 @@ class ByteReader
         // offset_ <= size_ always holds (only advanced here), so the
         // subtraction cannot wrap — unlike offset_ + bytes, which a
         // malicious section size near UINT64_MAX would overflow.
-        fatal_if(bytes > size_ - offset_,
-                 "%s: truncated trace (need %lu bytes at offset %lu, "
-                 "file has %lu)",
-                 path_.c_str(), static_cast<unsigned long>(bytes),
-                 static_cast<unsigned long>(offset_),
-                 static_cast<unsigned long>(size_));
+        input_error_if(bytes > size_ - offset_,
+                       "%s: truncated trace (need %lu bytes at offset "
+                       "%lu, file has %lu)",
+                       path_.c_str(), static_cast<unsigned long>(bytes),
+                       static_cast<unsigned long>(offset_),
+                       static_cast<unsigned long>(size_));
     }
 
     const std::uint8_t *data_;
@@ -218,8 +242,22 @@ class ByteReader
 class MappedFile
 {
   public:
-    /** Open @p path; fatal() if it cannot be opened or read. */
+    /**
+     * Open @p path. Failure throws StatusError — NotFound when the
+     * file does not exist, Unavailable otherwise — with the path and
+     * the OS error (strerror) in the message.
+     */
     explicit MappedFile(const std::string &path);
+
+    /**
+     * Borrow an in-memory byte range instead of opening a file (no
+     * copy, no ownership; @p name labels diagnostics). This is how the
+     * fuzz harnesses and tests feed synthetic containers through the
+     * full loading path.
+     */
+    MappedFile(const std::uint8_t *data, std::uint64_t size,
+               std::string name);
+
     ~MappedFile();
 
     MappedFile(const MappedFile &) = delete;
@@ -237,9 +275,10 @@ class MappedFile
     std::vector<std::uint8_t> fallback_;
 };
 
-/** Write @p bytes to @p path atomically enough for tooling (fatal() on
- *  short writes). */
-void writeFileOrDie(const std::string &path, const std::string &bytes);
+/** Write @p bytes to @p path atomically enough for tooling; throws
+ *  StatusError (Unavailable, with strerror) on open failure or short
+ *  writes. */
+void writeFileOrThrow(const std::string &path, const std::string &bytes);
 
 } // namespace asap
 

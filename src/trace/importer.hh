@@ -70,7 +70,8 @@ class TraceImporter
     virtual bool sniff(const std::uint8_t *data,
                        std::size_t size) const = 0;
 
-    /** Parse the whole capture, emitting records in order. fatal() on
+    /** Parse the whole capture, emitting records in order. Throws
+     *  StatusError (DataLoss) on
      *  malformed input, naming @p path. */
     virtual void parse(const std::uint8_t *data, std::size_t size,
                        const char *path, RecordSink &sink) const = 0;

@@ -62,7 +62,7 @@ class ChampSimImporter : public TraceImporter
     parse(const std::uint8_t *data, std::size_t size, const char *path,
           RecordSink &sink) const override
     {
-        fatal_if(size == 0 || size % recordBytes != 0,
+        input_error_if(size == 0 || size % recordBytes != 0,
                  "%s: not a whole number of 64-byte ChampSim records "
                  "(%zu bytes)",
                  path, size);

@@ -70,7 +70,7 @@ class DrMemtraceImporter : public TraceImporter
     parse(const std::uint8_t *data, std::size_t size, const char *path,
           RecordSink &sink) const override
     {
-        fatal_if(size == 0 || size % recordBytes != 0,
+        input_error_if(size == 0 || size % recordBytes != 0,
                  "%s: not a whole number of 16-byte memtrace records "
                  "(%zu bytes)",
                  path, size);

@@ -86,24 +86,24 @@ parseMessage(const std::uint8_t *cursor, const std::uint8_t *end,
             break;
           }
           case wireFixed64:
-            fatal_if(end - cursor < 8, "%s: truncated fixed64 field",
+            input_error_if(end - cursor < 8, "%s: truncated fixed64 field",
                      path);
             cursor += 8;
             break;
           case wireBytes: {
             const std::uint64_t len = decodeVarint(cursor, end, path);
-            fatal_if(static_cast<std::uint64_t>(end - cursor) < len,
+            input_error_if(static_cast<std::uint64_t>(end - cursor) < len,
                      "%s: truncated length-delimited field", path);
             cursor += len;
             break;
           }
           case wireFixed32:
-            fatal_if(end - cursor < 4, "%s: truncated fixed32 field",
+            input_error_if(end - cursor < 4, "%s: truncated fixed32 field",
                      path);
             cursor += 4;
             break;
           default:
-            fatal("%s: unsupported protobuf wire type %u", path, wire);
+            input_error("%s: unsupported protobuf wire type %u", path, wire);
         }
     }
     return fields;
@@ -150,7 +150,7 @@ class Gem5Importer : public TraceImporter
     parse(const std::uint8_t *data, std::size_t size, const char *path,
           RecordSink &sink) const override
     {
-        fatal_if(size < sizeof(gem5Magic) ||
+        input_error_if(size < sizeof(gem5Magic) ||
                      std::memcmp(data, gem5Magic, sizeof(gem5Magic)) != 0,
                  "%s: missing gem5 magic", path);
         const std::uint8_t *cursor = data + sizeof(gem5Magic);
@@ -159,7 +159,7 @@ class Gem5Importer : public TraceImporter
         bool header = true;
         while (cursor < end) {
             const std::uint64_t len = decodeVarint(cursor, end, path);
-            fatal_if(static_cast<std::uint64_t>(end - cursor) < len,
+            input_error_if(static_cast<std::uint64_t>(end - cursor) < len,
                      "%s: truncated gem5 message (need %lu bytes)", path,
                      static_cast<unsigned long>(len));
             const std::uint8_t *messageEnd = cursor + len;
@@ -187,7 +187,7 @@ class Gem5Importer : public TraceImporter
             }
             cursor = messageEnd;
         }
-        fatal_if(header, "%s: gem5 trace has no messages", path);
+        input_error_if(header, "%s: gem5 trace has no messages", path);
     }
 };
 

@@ -16,6 +16,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace asap
 {
@@ -93,7 +94,7 @@ class TextImporter : public TraceImporter
         TraceRecord record;
         record.size = 8;
         record.va = std::strtoull(at, &after, 0);
-        fatal_if(after == at, "%s:%lu: expected an address", path,
+        input_error_if(after == at, "%s:%lu: expected an address", path,
                  static_cast<unsigned long>(lineNo));
         at = after;
 
@@ -101,20 +102,20 @@ class TextImporter : public TraceImporter
             ++at;
             record.size =
                 static_cast<std::uint32_t>(std::strtoull(at, &after, 0));
-            fatal_if(after == at || record.size == 0,
+            input_error_if(after == at || record.size == 0,
                      "%s:%lu: bad access size", path,
                      static_cast<unsigned long>(lineNo));
             at = after;
         }
         if (*at == ',') {
             ++at;
-            fatal_if(*at != 'r' && *at != 'w',
+            input_error_if(*at != 'r' && *at != 'w',
                      "%s:%lu: direction must be r or w", path,
                      static_cast<unsigned long>(lineNo));
             record.write = *at == 'w';
             ++at;
         }
-        fatal_if(*at != '\0', "%s:%lu: trailing garbage '%s'", path,
+        input_error_if(*at != '\0', "%s:%lu: trailing garbage '%s'", path,
                  static_cast<unsigned long>(lineNo), at);
         sink.record(record);
     }

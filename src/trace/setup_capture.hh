@@ -82,10 +82,16 @@ class SetupCapture : public SetupRecorder
 /**
  * Replay a captured setup-op stream into @p system (the inverse of
  * SetupCapture). Shared by TraceReplayWorkload::setup and by tooling
- * that inspects op streams; fatal() on malformed bytes.
+ * that inspects op streams; throws StatusError (DataLoss) on malformed
+ * bytes.
  */
 void replaySetupOps(System &system, const std::uint8_t *cursor,
                     const std::uint8_t *end, const char *path);
+
+/** Decode-and-discard: the same format validation as replaySetupOps
+ *  with no System side effects (fuzz harness, stream linting). */
+void validateSetupOps(const std::uint8_t *cursor,
+                      const std::uint8_t *end, const char *path);
 
 } // namespace asap
 

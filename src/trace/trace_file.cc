@@ -7,6 +7,8 @@
 #include <zlib.h>
 #endif
 
+#include "common/fault_inject.hh"
+
 namespace asap
 {
 
@@ -48,8 +50,34 @@ traceCompressionAvailable()
 
 TraceFile::TraceFile(const std::string &path) : file_(path)
 {
-    fatal_if(file_.size() < sizeof(trc1Magic) + 8, "trace %s too small",
-             path.c_str());
+    load();
+}
+
+TraceFile::TraceFile(const std::uint8_t *data, std::uint64_t size,
+                     std::string name)
+    : file_(data, size, std::move(name))
+{
+    load();
+}
+
+StatusOr<std::unique_ptr<TraceFile>>
+TraceFile::open(const std::string &path)
+{
+    std::unique_ptr<TraceFile> file;
+    Status status =
+        runToStatus([&] { file.reset(new TraceFile(path)); });
+    if (!status.ok())
+        return status;
+    return StatusOr<std::unique_ptr<TraceFile>>(std::move(file));
+}
+
+void
+TraceFile::load()
+{
+    const std::string &path = file_.path();
+    input_error_if(file_.size() < sizeof(trc1Magic) + 8,
+                   "trace %s too small (%llu bytes)", path.c_str(),
+                   static_cast<unsigned long long>(file_.size()));
 
     ByteReader in(file_.data(), file_.size(), file_.path());
     const std::uint8_t *magic = in.skip(sizeof(trc1Magic));
@@ -57,28 +85,28 @@ TraceFile::TraceFile(const std::string &path) : file_(path)
     in.get32();   // reserved
 
     if (std::memcmp(magic, trc1Magic, sizeof(trc1Magic)) == 0) {
-        fatal_if(version != trc1Version,
-                 "%s: unsupported ASAPTRC1 version %u", path.c_str(),
-                 version);
+        input_error_if(version != trc1Version,
+                       "%s: unsupported ASAPTRC1 version %u",
+                       path.c_str(), version);
         version_ = trc1Version;
         loadV1(in);
     } else if (std::memcmp(magic, trc2Magic, sizeof(trc2Magic)) == 0) {
-        fatal_if(version != trc2Version,
-                 "%s: unsupported ASAPTRC2 version %u", path.c_str(),
-                 version);
+        input_error_if(version != trc2Version,
+                       "%s: unsupported ASAPTRC2 version %u",
+                       path.c_str(), version);
         version_ = trc2Version;
         loadV2(in);
     } else {
-        fatal("%s is not an ASAP trace", path.c_str());
+        input_error("%s is not an ASAP trace", path.c_str());
     }
 
-    fatal_if(header_.accessCount == 0, "%s: empty address stream",
-             path.c_str());
-    fatal_if(header_.representedAccesses < header_.accessCount,
-             "%s: represented accesses %lu below stored %lu",
-             path.c_str(),
-             static_cast<unsigned long>(header_.representedAccesses),
-             static_cast<unsigned long>(header_.accessCount));
+    input_error_if(header_.accessCount == 0, "%s: empty address stream",
+                   path.c_str());
+    input_error_if(header_.representedAccesses < header_.accessCount,
+                   "%s: represented accesses %lu below stored %lu",
+                   path.c_str(),
+                   static_cast<unsigned long>(header_.representedAccesses),
+                   static_cast<unsigned long>(header_.accessCount));
 }
 
 void
@@ -98,10 +126,11 @@ TraceFile::loadV1(ByteReader &in)
     // Every delta costs at least one varint byte, so a stream shorter
     // than the access count cannot be decoded fully — reject up front
     // instead of hitting "truncated varint" mid-replay.
-    fatal_if(streamBytes_ < header_.accessCount,
-             "%s: stream (%lu bytes) shorter than access count %lu",
-             path().c_str(), static_cast<unsigned long>(streamBytes_),
-             static_cast<unsigned long>(header_.accessCount));
+    input_error_if(streamBytes_ < header_.accessCount,
+                   "%s: stream (%lu bytes) shorter than access count %lu",
+                   path().c_str(),
+                   static_cast<unsigned long>(streamBytes_),
+                   static_cast<unsigned long>(header_.accessCount));
 
     header_.representedAccesses = header_.accessCount;
     header_.sampleInterval = 1;
@@ -122,39 +151,47 @@ TraceFile::loadV2(ByteReader &in)
     header_.representedAccesses = in.get64();
     header_.sampleInterval = in.get32();
     header_.chunkAccesses = in.get32();
-    fatal_if(header_.sampleInterval == 0, "%s: zero sample interval", p);
-    fatal_if(header_.chunkAccesses == 0, "%s: zero chunk size", p);
+    input_error_if(header_.sampleInterval == 0,
+                   "%s: zero sample interval", p);
+    input_error_if(header_.chunkAccesses == 0, "%s: zero chunk size", p);
 
     const std::uint64_t dataOffset = in.offset();
 
     // The index is located through the fixed footer at EOF.
-    fatal_if(file_.size() < dataOffset + footerBytes,
-             "%s: truncated trace (no footer)", p);
-    ByteReader footer(file_.data() + file_.size() - footerBytes,
-                      footerBytes, file_.path());
+    input_error_if(file_.size() < dataOffset + footerBytes,
+                   "%s: truncated trace (no footer)", p);
+    const std::uint64_t footerOffset = file_.size() - footerBytes;
+    ByteReader footer(file_.data() + footerOffset, footerBytes,
+                      file_.path());
     const std::uint64_t indexOffset = footer.get64();
     const std::uint64_t chunkCount = footer.get64();
     const std::uint8_t *endMagic = footer.skip(sizeof(trc2EndMagic));
-    fatal_if(std::memcmp(endMagic, trc2EndMagic,
-                         sizeof(trc2EndMagic)) != 0,
-             "%s: bad trace footer", p);
+    input_error_if(std::memcmp(endMagic, trc2EndMagic,
+                               sizeof(trc2EndMagic)) != 0,
+                   "%s: bad trace footer at byte offset %llu", p,
+                   static_cast<unsigned long long>(footerOffset + 16));
 
-    const std::uint64_t indexEnd = file_.size() - footerBytes;
-    fatal_if(indexOffset < dataOffset || indexOffset > indexEnd,
-             "%s: chunk index offset out of range", p);
+    const std::uint64_t indexEnd = footerOffset;
+    input_error_if(indexOffset < dataOffset || indexOffset > indexEnd,
+                   "%s: chunk index offset %llu out of range "
+                   "[%llu, %llu]",
+                   p, static_cast<unsigned long long>(indexOffset),
+                   static_cast<unsigned long long>(dataOffset),
+                   static_cast<unsigned long long>(indexEnd));
     const std::uint64_t indexBytes = indexEnd - indexOffset;
-    fatal_if(indexBytes != sizeof(trc2IndexMagic) +
-                               chunkCount * indexEntryBytes,
-             "%s: chunk index size mismatch (%lu chunks)", p,
-             static_cast<unsigned long>(chunkCount));
-    fatal_if(chunkCount == 0, "%s: no chunks", p);
+    input_error_if(indexBytes != sizeof(trc2IndexMagic) +
+                                     chunkCount * indexEntryBytes,
+                   "%s: chunk index size mismatch (%lu chunks)", p,
+                   static_cast<unsigned long>(chunkCount));
+    input_error_if(chunkCount == 0, "%s: no chunks", p);
 
     ByteReader index(file_.data() + indexOffset, indexBytes,
                      file_.path());
     const std::uint8_t *indexMagic = index.skip(sizeof(trc2IndexMagic));
-    fatal_if(std::memcmp(indexMagic, trc2IndexMagic,
-                         sizeof(trc2IndexMagic)) != 0,
-             "%s: bad chunk index magic", p);
+    input_error_if(std::memcmp(indexMagic, trc2IndexMagic,
+                               sizeof(trc2IndexMagic)) != 0,
+                   "%s: bad chunk index magic at byte offset %llu", p,
+                   static_cast<unsigned long long>(indexOffset));
 
     chunks_.reserve(chunkCount);
     std::uint64_t expectedOffset = dataOffset;
@@ -171,46 +208,66 @@ TraceFile::loadV2(ByteReader &in)
 
         // Chunks are written back to back; enforcing that here means a
         // corrupt index cannot alias chunks or point into the header.
-        fatal_if(chunk.offset != expectedOffset,
-                 "%s: chunk %lu offset %lu, expected %lu", p,
-                 static_cast<unsigned long>(i),
-                 static_cast<unsigned long>(chunk.offset),
-                 static_cast<unsigned long>(expectedOffset));
+        input_error_if(chunk.offset != expectedOffset,
+                       "%s: chunk %lu offset %lu, expected %lu "
+                       "(index entry at byte offset %llu)",
+                       p, static_cast<unsigned long>(i),
+                       static_cast<unsigned long>(chunk.offset),
+                       static_cast<unsigned long>(expectedOffset),
+                       static_cast<unsigned long long>(
+                           indexOffset + sizeof(trc2IndexMagic) +
+                           i * indexEntryBytes));
         expectedOffset += chunk.storedBytes;
-        fatal_if(expectedOffset > indexOffset,
-                 "%s: chunk %lu overruns the index", p,
-                 static_cast<unsigned long>(i));
+        input_error_if(expectedOffset > indexOffset,
+                       "%s: chunk %lu (at byte offset %llu, %u stored "
+                       "bytes) overruns the index at %llu",
+                       p, static_cast<unsigned long>(i),
+                       static_cast<unsigned long long>(chunk.offset),
+                       chunk.storedBytes,
+                       static_cast<unsigned long long>(indexOffset));
         if (chunk.codec == chunkCodecEventOps) {
             // OS-event stream payload: lifted out of the address-chunk
             // list so the cursor never decodes it.
-            fatal_if(chunk.accesses != 0,
-                     "%s: event-op chunk %lu claims accesses", p,
-                     static_cast<unsigned long>(i));
-            fatal_if(chunk.storedBytes != chunk.rawBytes ||
-                         chunk.storedBytes == 0,
-                     "%s: malformed event-op chunk %lu", p,
-                     static_cast<unsigned long>(i));
-            fatal_if(eventBytes_ != 0,
-                     "%s: more than one event-op chunk", p);
+            input_error_if(chunk.accesses != 0,
+                           "%s: event-op chunk %lu claims accesses", p,
+                           static_cast<unsigned long>(i));
+            input_error_if(chunk.storedBytes != chunk.rawBytes ||
+                               chunk.storedBytes == 0,
+                           "%s: malformed event-op chunk %lu", p,
+                           static_cast<unsigned long>(i));
+            input_error_if(eventBytes_ != 0,
+                           "%s: more than one event-op chunk", p);
             eventOffset_ = chunk.offset;
             eventBytes_ = chunk.storedBytes;
             continue;
         }
-        fatal_if(chunk.accesses == 0, "%s: empty chunk %lu", p,
-                 static_cast<unsigned long>(i));
-        fatal_if(chunk.rawBytes < chunk.accesses,
-                 "%s: chunk %lu raw bytes below access count", p,
-                 static_cast<unsigned long>(i));
+        input_error_if(chunk.accesses == 0, "%s: empty chunk %lu", p,
+                       static_cast<unsigned long>(i));
+        input_error_if(chunk.rawBytes < chunk.accesses,
+                       "%s: chunk %lu raw bytes below access count", p,
+                       static_cast<unsigned long>(i));
         if (chunk.codec == chunkCodecRaw) {
-            fatal_if(chunk.storedBytes != chunk.rawBytes,
-                     "%s: raw chunk %lu size mismatch", p,
-                     static_cast<unsigned long>(i));
+            input_error_if(chunk.storedBytes != chunk.rawBytes,
+                           "%s: raw chunk %lu size mismatch", p,
+                           static_cast<unsigned long>(i));
         } else if (chunk.codec == chunkCodecDeflate) {
-            fatal_if(!traceCompressionAvailable(),
-                     "%s: compressed trace, but built without zlib", p);
+            input_error_if(!traceCompressionAvailable(),
+                           "%s: compressed trace, but built without "
+                           "zlib",
+                           p);
+            // Deflate tops out near 1032:1; a rawBytes claim beyond
+            // that is corrupt, and bounding it here keeps a hostile
+            // index from demanding a huge inflation buffer.
+            input_error_if(chunk.rawBytes / 1032 >
+                               chunk.storedBytes,
+                           "%s: chunk %lu claims %u raw bytes from %u "
+                           "stored (beyond max deflate ratio)",
+                           p, static_cast<unsigned long>(i),
+                           chunk.rawBytes, chunk.storedBytes);
         } else {
-            fatal("%s: unknown chunk codec %u", p,
-                  static_cast<unsigned>(chunk.codec));
+            input_error("%s: unknown chunk codec %u in chunk %lu", p,
+                        static_cast<unsigned>(chunk.codec),
+                        static_cast<unsigned long>(i));
         }
 
         total += chunk.accesses;
@@ -230,6 +287,9 @@ TraceCursor::rewind()
     if (file_.version() == trc1Version) {
         cursor_ = file_.streamBegin();
         end_ = file_.streamEnd();
+        // Offsets reported against the file image: absolute positions.
+        blockLabel_ = file_.path();
+        blockBase_ = file_.fileData();
         prevVa_ = 0;
         remaining_ = file_.header().accessCount;
     } else {
@@ -242,11 +302,11 @@ TraceCursor::advanceBlock()
 {
     // A block's varints must consume its byte count exactly; leftovers
     // mean the stream and the declared access count disagree.
-    fatal_if(cursor_ != end_,
-             "%s: %lu stream bytes left over after the declared "
-             "access count",
-             file_.path().c_str(),
-             static_cast<unsigned long>(end_ - cursor_));
+    input_error_if(cursor_ != end_,
+                   "%s: %lu stream bytes left over after the declared "
+                   "access count",
+                   blockLabel_.c_str(),
+                   static_cast<unsigned long>(end_ - cursor_));
     if (file_.version() == trc1Version) {
         // Wrap: the stream restarts at exactly its first address (the
         // first delta re-bases from 0).
@@ -268,6 +328,10 @@ TraceCursor::loadChunk(std::size_t idx)
     const std::uint8_t *stored = file_.chunkData(idx);
     if (chunk.codec == chunkCodecRaw) {
         cursor_ = stored;
+        // Mapped in place: offsets are absolute file positions.
+        blockLabel_ = strprintf("%s chunk %zu", file_.path().c_str(),
+                                idx);
+        blockBase_ = file_.fileData();
     } else {
 #ifdef ASAP_HAVE_ZLIB
         if (cache_.empty())
@@ -282,21 +346,29 @@ TraceCursor::loadChunk(std::size_t idx)
             cachedBytes_ += chunk.rawBytes;
         }
         if (inflate) {
+            fault::maybeFail("decompress");
             dest->resize(chunk.rawBytes);
             uLongf destLen = chunk.rawBytes;
             const int rc = ::uncompress(dest->data(), &destLen, stored,
                                         chunk.storedBytes);
-            fatal_if(rc != Z_OK || destLen != chunk.rawBytes,
-                     "%s: chunk %zu fails to decompress (zlib rc %d, "
-                     "%lu of %u bytes)",
-                     file_.path().c_str(), idx, rc,
-                     static_cast<unsigned long>(destLen),
-                     chunk.rawBytes);
+            input_error_if(
+                rc != Z_OK || destLen != chunk.rawBytes,
+                "%s: chunk %zu (at byte offset %llu) fails to "
+                "decompress (zlib rc %d, %lu of %u bytes)",
+                file_.path().c_str(), idx,
+                static_cast<unsigned long long>(chunk.offset), rc,
+                static_cast<unsigned long>(destLen), chunk.rawBytes);
         }
         cursor_ = dest->data();
+        // Offsets are within the decoded chunk, not the file; say so.
+        blockLabel_ = strprintf(
+            "%s chunk %zu (decoded; stored at byte offset %llu)",
+            file_.path().c_str(), idx,
+            static_cast<unsigned long long>(chunk.offset));
+        blockBase_ = cursor_;
 #else
-        fatal("%s: compressed trace, but built without zlib",
-              file_.path().c_str());
+        input_error("%s: compressed trace, but built without zlib",
+                    file_.path().c_str());
 #endif
     }
     end_ = cursor_ + chunk.rawBytes;

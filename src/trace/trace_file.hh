@@ -47,9 +47,11 @@
 #define ASAP_TRACE_TRACE_FILE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/types.hh"
 #include "trace/format.hh"
 
@@ -98,14 +100,24 @@ struct TraceChunk
 
 /**
  * A loaded (mmap-backed, read-only) trace file, v1 or v2. Cheap to open
- * per Environment; concurrent readers share the page cache. fatal() on
- * malformed files — headers, section lengths, the chunk index and the
- * footer are all validated at load.
+ * per Environment; concurrent readers share the page cache. Malformed
+ * files throw StatusError (DataLoss, with the offending byte offset) —
+ * headers, section lengths, the chunk index and the footer are all
+ * validated at load. Use open() for a Status-returning boundary.
  */
 class TraceFile
 {
   public:
     explicit TraceFile(const std::string &path);
+
+    /** Load a container already in memory (borrowed bytes; @p name
+     *  labels diagnostics). The fuzz harness entry point. */
+    TraceFile(const std::uint8_t *data, std::uint64_t size,
+              std::string name);
+
+    /** Status-returning boundary: never throws, never exits. */
+    static StatusOr<std::unique_ptr<TraceFile>>
+    open(const std::string &path);
 
     TraceFile(const TraceFile &) = delete;
     TraceFile &operator=(const TraceFile &) = delete;
@@ -113,6 +125,8 @@ class TraceFile
     const TraceHeader &header() const { return header_; }
     const std::string &path() const { return file_.path(); }
     std::uint64_t fileBytes() const { return file_.size(); }
+    /** Base of the file image (for absolute-offset diagnostics). */
+    const std::uint8_t *fileData() const { return file_.data(); }
     unsigned version() const { return version_; }
 
     /** Raw setup-op bytes [begin, end) — same encoding in v1 and v2. */
@@ -145,6 +159,7 @@ class TraceFile
     }
 
   private:
+    void load();
     void loadV1(ByteReader &in);
     void loadV2(ByteReader &in);
 
@@ -186,8 +201,8 @@ class TraceCursor
         ++position_;
         prevVa_ = static_cast<VirtAddr>(
             static_cast<std::int64_t>(prevVa_) +
-            unzigzag(decodeVarint(cursor_, end_,
-                                  file_.path().c_str())));
+            unzigzag(decodeVarint(cursor_, end_, blockLabel_.c_str(),
+                                  blockBase_)));
         return prevVa_;
     }
 
@@ -214,6 +229,12 @@ class TraceCursor
     const TraceFile &file_;
     const std::uint8_t *cursor_ = nullptr;
     const std::uint8_t *end_ = nullptr;
+    /** Diagnostic context for the current block: decodeVarint reports
+     *  offsets relative to blockBase_ under the blockLabel_ name (for
+     *  mapped blocks that is the absolute file offset; for inflated
+     *  chunks, the offset within the decoded chunk). */
+    std::string blockLabel_;
+    const std::uint8_t *blockBase_ = nullptr;
     VirtAddr prevVa_ = 0;
     std::uint64_t remaining_ = 0;   ///< accesses left in current block
     std::size_t chunkIdx_ = 0;      ///< v2: current chunk
@@ -224,7 +245,8 @@ class TraceCursor
 };
 
 /** True when the library was built with zlib (deflate chunks readable
- *  and writable); without it, compressed traces fatal() at load. */
+ *  and writable); without it, compressed traces fail to load with a
+ *  DataLoss StatusError. */
 bool traceCompressionAvailable();
 
 } // namespace asap

@@ -1,5 +1,7 @@
 #include "trace/writer.hh"
 
+#include <cerrno>
+#include <cstring>
 #include <limits>
 
 #ifdef ASAP_HAVE_ZLIB
@@ -16,16 +18,16 @@ Trc2Writer::Trc2Writer(const std::string &path, const TraceHeader &meta,
     : path_(path), options_(options),
       representedOverride_(meta.representedAccesses)
 {
-    fatal_if(options_.chunkAccesses == 0, "%s: zero chunk size",
-             path.c_str());
+    spec_error_if(options_.chunkAccesses == 0, "%s: zero chunk size",
+                  path.c_str());
     // Chunk index entries hold u32 byte sizes; a varint delta is at
     // most 10 bytes, so this cap keeps even the worst-case delta block
     // (and its compressBound) comfortably inside u32.
-    fatal_if(options_.chunkAccesses > (1u << 26),
-             "%s: chunk size %u exceeds the %u-access limit",
-             path.c_str(), options_.chunkAccesses, 1u << 26);
-    fatal_if(options_.sampleInterval == 0, "%s: zero sample interval",
-             path.c_str());
+    spec_error_if(options_.chunkAccesses > (1u << 26),
+                  "%s: chunk size %u exceeds the %u-access limit",
+                  path.c_str(), options_.chunkAccesses, 1u << 26);
+    spec_error_if(options_.sampleInterval == 0,
+                  "%s: zero sample interval", path.c_str());
 
     std::string header;
     header.append(trc2Magic, sizeof(trc2Magic));
@@ -51,17 +53,19 @@ Trc2Writer::Trc2Writer(const std::string &path, const TraceHeader &meta,
     put32(header, options_.chunkAccesses);
 
     file_ = std::fopen(path.c_str(), "wb");
-    fatal_if(!file_, "cannot write trace %s", path.c_str());
+    io_error_if(!file_, "cannot write trace %s: %s", path.c_str(),
+                std::strerror(errno));
     writeOrDie(header.data(), header.size());
 
     if (!eventOps.empty()) {
         // The OS-event stream rides as the first chunk, tagged by its
         // codec; it contributes no accesses and is stored raw (event
         // streams are tiny next to the address stream).
-        fatal_if(eventOps.size() >
-                     std::numeric_limits<std::uint32_t>::max(),
-                 "%s: OS-event stream overflows the u32 index field",
-                 path.c_str());
+        spec_error_if(eventOps.size() >
+                          std::numeric_limits<std::uint32_t>::max(),
+                      "%s: OS-event stream overflows the u32 index "
+                      "field",
+                      path.c_str());
         TraceChunk chunk;
         chunk.offset = fileOffset_;
         chunk.storedBytes = static_cast<std::uint32_t>(eventOps.size());
@@ -84,8 +88,9 @@ Trc2Writer::~Trc2Writer()
 void
 Trc2Writer::writeOrDie(const void *bytes, std::size_t n)
 {
-    fatal_if(std::fwrite(bytes, 1, n, file_) != n,
-             "short write to trace %s", path_.c_str());
+    io_error_if(std::fwrite(bytes, 1, n, file_) != n,
+                "short write to trace %s: %s", path_.c_str(),
+                std::strerror(errno));
     fileOffset_ += n;
 }
 
@@ -118,10 +123,10 @@ Trc2Writer::flushChunk()
 
     TraceChunk chunk;
     chunk.offset = fileOffset_;
-    fatal_if(chunkBuf_.size() >
-                 std::numeric_limits<std::uint32_t>::max(),
-             "%s: chunk delta block overflows the u32 index field",
-             path_.c_str());
+    spec_error_if(chunkBuf_.size() >
+                      std::numeric_limits<std::uint32_t>::max(),
+                  "%s: chunk delta block overflows the u32 index field",
+                  path_.c_str());
     chunk.rawBytes = static_cast<std::uint32_t>(chunkBuf_.size());
     chunk.accesses = chunkBufAccesses_;
     chunk.codec = chunkCodecRaw;
@@ -166,7 +171,8 @@ Trc2Writer::finish()
     fatal_if(finished_, "%s: finish() called twice", path_.c_str());
     finished_ = true;
     flushChunk();
-    fatal_if(chunks_.empty(), "%s: no accesses recorded", path_.c_str());
+    spec_error_if(chunks_.empty(), "%s: no accesses recorded",
+                  path_.c_str());
 
     const std::uint64_t indexOffset = fileOffset_;
     std::string tail;
@@ -189,21 +195,27 @@ Trc2Writer::finish()
     // Patch the represented-access count reserved in the header.
     const std::uint64_t represented =
         representedOverride_ ? representedOverride_ : fedAccesses_;
-    fatal_if(represented < storedAccesses,
-             "%s: represented accesses %lu below stored %lu",
-             path_.c_str(), static_cast<unsigned long>(represented),
-             static_cast<unsigned long>(storedAccesses));
+    spec_error_if(represented < storedAccesses,
+                  "%s: represented accesses %lu below stored %lu",
+                  path_.c_str(), static_cast<unsigned long>(represented),
+                  static_cast<unsigned long>(storedAccesses));
     std::string field;
     put64(field, represented);
-    fatal_if(std::fseek(file_, static_cast<long>(representedFieldOffset_),
-                        SEEK_SET) != 0,
-             "cannot seek in trace %s", path_.c_str());
-    fatal_if(std::fwrite(field.data(), 1, field.size(), file_) !=
-                 field.size(),
-             "short write to trace %s", path_.c_str());
-    fatal_if(std::fclose(file_) != 0, "cannot close trace %s",
-             path_.c_str());
+    io_error_if(std::fseek(file_,
+                           static_cast<long>(representedFieldOffset_),
+                           SEEK_SET) != 0,
+                "cannot seek in trace %s: %s", path_.c_str(),
+                std::strerror(errno));
+    io_error_if(std::fwrite(field.data(), 1, field.size(), file_) !=
+                    field.size(),
+                "short write to trace %s: %s", path_.c_str(),
+                std::strerror(errno));
+    // Drop file_ before the close check: if fclose fails and throws,
+    // the destructor must not close the (now dead) handle again.
+    std::FILE *file = file_;
     file_ = nullptr;
+    io_error_if(std::fclose(file) != 0, "cannot close trace %s: %s",
+                path_.c_str(), std::strerror(errno));
 
     Trc2Summary summary;
     summary.fileBytes = fileOffset_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "sim/system.hh"
 
 namespace asap
@@ -53,11 +54,11 @@ OsEventStream
 buildDynamicEvents(const WorkloadSpec &spec, const System &system)
 {
     const bool tenants = spec.dynProfile == "tenants";
-    fatal_if(!tenants && spec.dynProfile != "server",
+    spec_error_if(!tenants && spec.dynProfile != "server",
              "%s: unknown dynamics profile '%s'", spec.name.c_str(),
              spec.dynProfile.c_str());
     const double intensity = spec.dynIntensity;
-    fatal_if(intensity <= 0.0, "%s: non-positive dynamics intensity",
+    spec_error_if(intensity <= 0.0, "%s: non-positive dynamics intensity",
              spec.name.c_str());
     const std::uint64_t period = spec.dynPeriodAccesses
                                      ? spec.dynPeriodAccesses
@@ -68,7 +69,7 @@ buildDynamicEvents(const WorkloadSpec &spec, const System &system)
         if (vma->prefetchable)
             dataVmas.push_back({vma->start, vma->numPages()});
     }
-    fatal_if(dataVmas.empty(), "%s: dynamics need a dataset VMA",
+    spec_error_if(dataVmas.empty(), "%s: dynamics need a dataset VMA",
              spec.name.c_str());
 
     // Deterministic in everything the stream may depend on — so a

@@ -1,5 +1,7 @@
 #include "workloads/suite.hh"
 
+#include "common/status.hh"
+
 #include <cstdlib>
 
 #include "workloads/dynamic.hh"
@@ -218,7 +220,7 @@ specsByNames(const std::vector<std::string> &names)
     specs.reserve(names.size());
     for (const std::string &name : names) {
         std::optional<WorkloadSpec> spec = specByName(name);
-        fatal_if(!spec, "unknown workload: %s", name.c_str());
+        spec_error_if(!spec, "unknown workload: %s", name.c_str());
         specs.push_back(std::move(*spec));
     }
     return specs;

@@ -1,6 +1,7 @@
 #include "workloads/trace.hh"
 
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "sim/environment.hh"
 #include "sim/system.hh"
 #include "trace/setup_capture.hh"
@@ -20,11 +21,11 @@ recordTrace(const WorkloadSpec &spec, const std::string &path,
             std::uint64_t seed, std::uint64_t accesses,
             const RecordOptions &options)
 {
-    fatal_if(accesses == 0, "recordTrace: zero accesses");
-    fatal_if(!spec.tracePath.empty(),
+    spec_error_if(accesses == 0, "recordTrace: zero accesses");
+    spec_error_if(!spec.tracePath.empty(),
              "recordTrace: %s is already trace-backed",
              spec.name.c_str());
-    fatal_if(options.version != trc1Version &&
+    spec_error_if(options.version != trc1Version &&
                  options.version != trc2Version,
              "recordTrace: unknown container version %u",
              options.version);
@@ -49,7 +50,7 @@ recordTrace(const WorkloadSpec &spec, const std::string &path,
     const OsEventStream *events = workload->events();
     std::string eventOps;
     if (events && !events->empty()) {
-        fatal_if(options.version == trc1Version,
+        spec_error_if(options.version == trc1Version,
                  "recordTrace: %s has an OS-event stream; record it "
                  "with the ASAPTRC2 container (--v2)",
                  spec.name.c_str());
@@ -123,7 +124,7 @@ recordTrace(const WorkloadSpec &spec, const std::string &path,
     put64(out, stream.size());
     out.append(stream);
 
-    writeFileOrDie(path, out);
+    writeFileOrThrow(path, out);
 }
 
 WorkloadSpec

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Test helper for the recoverable-error model: assert that a callable
+ * throws StatusError with a message matching a simple pattern.
+ *
+ * These replace the EXPECT_EXIT death tests that guarded malformed
+ * input before the input surface became recoverable (PR "resilient
+ * execution layer"): same fixtures, same message patterns, but the
+ * failure is now observed as an exception instead of a process exit.
+ */
+
+#ifndef ASAP_TESTS_EXPECT_STATUS_HH
+#define ASAP_TESTS_EXPECT_STATUS_HH
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.hh"
+
+namespace asap::testutil
+{
+
+/** Does @p text contain any of the '|'-separated alternatives of
+ *  @p pattern? (The alternation shape the former death-test regexes
+ *  used, without needing a regex engine.) */
+inline bool
+containsAnyOf(const std::string &text, const std::string &pattern)
+{
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t bar = pattern.find('|', start);
+        const std::string alt =
+            pattern.substr(start, bar == std::string::npos
+                                      ? std::string::npos
+                                      : bar - start);
+        if (text.find(alt) != std::string::npos)
+            return true;
+        if (bar == std::string::npos)
+            return false;
+        start = bar + 1;
+    }
+}
+
+/** Expect @p fn to throw StatusError whose what() matches @p pattern. */
+template <typename Fn>
+void
+expectStatusError(Fn &&fn, const std::string &pattern)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected StatusError matching \"" << pattern
+                      << "\", but nothing was thrown";
+    } catch (const StatusError &error) {
+        EXPECT_TRUE(containsAnyOf(error.what(), pattern))
+            << "StatusError \"" << error.what()
+            << "\" matches none of \"" << pattern << "\"";
+    }
+}
+
+/** As above, additionally pinning the status code. */
+template <typename Fn>
+void
+expectStatusError(Fn &&fn, StatusCode code, const std::string &pattern)
+{
+    try {
+        fn();
+        ADD_FAILURE() << "expected StatusError matching \"" << pattern
+                      << "\", but nothing was thrown";
+    } catch (const StatusError &error) {
+        EXPECT_EQ(error.status().code(), code)
+            << "unexpected code for \"" << error.what() << "\"";
+        EXPECT_TRUE(containsAnyOf(error.what(), pattern))
+            << "StatusError \"" << error.what()
+            << "\" matches none of \"" << pattern << "\"";
+    }
+}
+
+} // namespace asap::testutil
+
+#endif // ASAP_TESTS_EXPECT_STATUS_HH

@@ -17,6 +17,7 @@
 #include "dyn/dynamics.hh"
 #include "dyn/os_events.hh"
 #include "exp/sweep.hh"
+#include "expect_status.hh"
 #include "golden_scenarios.hh"
 #include "sim/environment.hh"
 #include "trace/convert.hh"
@@ -149,12 +150,15 @@ TEST(OsEvents, DecodeRejectsUndefinedHandle)
     munmap.handle = 5;          // never defined by an Mmap
     stream.add(munmap);
     const std::string bytes = stream.encode();
-    EXPECT_DEATH(OsEventStream::decode(
-                     reinterpret_cast<const std::uint8_t *>(bytes.data()),
-                     reinterpret_cast<const std::uint8_t *>(bytes.data()) +
-                         bytes.size(),
-                     "<test>"),
-                 "undefined handle");
+    testutil::expectStatusError(
+        [&] {
+            OsEventStream::decode(
+                reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                reinterpret_cast<const std::uint8_t *>(bytes.data()) +
+                    bytes.size(),
+                "<test>");
+        },
+        StatusCode::DataLoss, "undefined handle");
 }
 
 // ---------------------------------------------------------------------------
@@ -659,6 +663,7 @@ TEST(DynTrace, RecordingDynamicWorkloadToV1Fatals)
 {
     const WorkloadSpec spec =
         withDynamics(tinySpec(), "server", 1.0, 5'000);
-    EXPECT_DEATH(recordTrace(spec, "dyn_v1.trc1", 7, 50'000),
-                 "ASAPTRC2");
+    testutil::expectStatusError(
+        [&] { recordTrace(spec, "dyn_v1.trc1", 7, 50'000); },
+        StatusCode::InvalidArgument, "ASAPTRC2");
 }

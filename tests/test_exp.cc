@@ -362,7 +362,7 @@ TEST(Sweep, CellCsvHasOneLinePerCell)
     const std::string csv = results.toCsv();
     const auto lines = std::count(csv.begin(), csv.end(), '\n');
     EXPECT_EQ(lines, 1 + 4);   // header + 4 cells
-    EXPECT_EQ(csv.rfind("row,column,measured,accesses", 0), 0u);
+    EXPECT_EQ(csv.rfind("row,column,measured,status,accesses", 0), 0u);
 }
 
 TEST(Sweep, AsapCountersSurfaceInRunStats)

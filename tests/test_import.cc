@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_status.hh"
 #include "sim/environment.hh"
 #include "trace/convert.hh"
 #include "workloads/trace.hh"
@@ -221,10 +222,12 @@ TEST(Importers, TextParsesLines)
     EXPECT_EQ(records[2].size, 4u);
     EXPECT_TRUE(records[2].write);
 
-    EXPECT_EXIT(parseBytes(textImporter(), fixture),
-                testing::ExitedWithCode(1), "trailing garbage");
-    EXPECT_EXIT(parseBytes(textImporter(), "zzz\n"),
-                testing::ExitedWithCode(1), "expected an address");
+    testutil::expectStatusError(
+        [&] { parseBytes(textImporter(), fixture); },
+        StatusCode::DataLoss, "trailing garbage");
+    testutil::expectStatusError(
+        [&] { parseBytes(textImporter(), "zzz\n"); },
+        "expected an address");
 }
 
 TEST(Importers, DrMemtraceParsesRecords)
@@ -243,8 +246,9 @@ TEST(Importers, DrMemtraceParsesRecords)
     EXPECT_TRUE(records[1].write);
     EXPECT_EQ(records[2].size, 1u);
 
-    EXPECT_EXIT(parseBytes(drmemtraceImporter(), bytes.substr(0, 20)),
-                testing::ExitedWithCode(1), "16-byte memtrace");
+    testutil::expectStatusError(
+        [&] { parseBytes(drmemtraceImporter(), bytes.substr(0, 20)); },
+        "16-byte memtrace");
 }
 
 TEST(Importers, ChampSimParsesMemorySlots)
@@ -265,8 +269,9 @@ TEST(Importers, ChampSimParsesMemorySlots)
     EXPECT_EQ(records[3].va, 0x7100'3000u);
     EXPECT_TRUE(records[3].write);
 
-    EXPECT_EXIT(parseBytes(champsimImporter(), bytes.substr(0, 100)),
-                testing::ExitedWithCode(1), "64-byte ChampSim");
+    testutil::expectStatusError(
+        [&] { parseBytes(champsimImporter(), bytes.substr(0, 100)); },
+        "64-byte ChampSim");
 }
 
 TEST(Importers, Gem5ParsesPacketMessages)

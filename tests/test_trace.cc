@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_status.hh"
 #include "golden_scenarios.hh"
 #include "sim/environment.hh"
 #include "workloads/suite.hh"
@@ -154,9 +155,9 @@ TEST(TraceFormat, SpecByNameTracePrefix)
     EXPECT_EQ(scaled.churnOps, spec->churnOps);
 }
 
-/** Malformed inputs (wrong magic, truncation) must fatal() with a
- *  clear message, never read out of bounds — traces may come from
- *  external converters. */
+/** Malformed inputs (wrong magic, truncation) must surface as a
+ *  DataLoss StatusError with a clear message, never read out of
+ *  bounds — traces may come from external converters. */
 TEST(TraceFormat, MalformedTraceIsFatal)
 {
     const TempTrace garbage("trace_garbage.asaptrace");
@@ -167,8 +168,9 @@ TEST(TraceFormat, MalformedTraceIsFatal)
                    f);
         std::fclose(f);
     }
-    EXPECT_EXIT(TraceFile{garbage.path()},
-                testing::ExitedWithCode(1), "not an ASAP trace");
+    testutil::expectStatusError([&] { TraceFile{garbage.path()}; },
+                                StatusCode::DataLoss,
+                                "not an ASAP trace");
 
     // A valid trace cut mid-file must be rejected at load.
     const TempTrace valid("trace_truncate_src.asaptrace");
@@ -187,8 +189,8 @@ TEST(TraceFormat, MalformedTraceIsFatal)
         std::fwrite(bytes.data(), 1, bytes.size() / 2, out);
         std::fclose(out);
     }
-    EXPECT_EXIT(TraceFile{cut.path()}, testing::ExitedWithCode(1),
-                "truncated");
+    testutil::expectStatusError([&] { TraceFile{cut.path()}; },
+                                "truncated");
 }
 
 /** A header whose access count exceeds what the stream bytes can hold
@@ -224,8 +226,8 @@ TEST(TraceFormat, StreamShorterThanAccessCountIsFatal)
                   bytes.size());
         std::fclose(f);
     }
-    EXPECT_EXIT(TraceFile{bad.path()}, testing::ExitedWithCode(1),
-                "shorter than access count");
+    testutil::expectStatusError([&] { TraceFile{bad.path()}; },
+                                "shorter than access count");
 }
 
 /** A stream byte with its varint continuation bit forced on makes the
@@ -263,8 +265,8 @@ TEST(TraceFormat, CorruptStreamVarintIsFatal)
         for (unsigned i = 0; i < 200; ++i)
             replay.next(unused);
     };
-    EXPECT_EXIT(decodeEverything(), testing::ExitedWithCode(1),
-                "truncated varint|exceeds 64 bits");
+    testutil::expectStatusError(decodeEverything,
+                                "truncated varint|exceeds 64 bits");
 }
 
 TEST(TraceReplay, StreamMatchesGenerator)

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_status.hh"
 #include "golden_scenarios.hh"
 #include "sim/environment.hh"
 #include "trace/convert.hh"
@@ -269,8 +270,8 @@ TEST(Trc2Convert, SampledStream)
     EXPECT_EQ(reFile.header().accessCount, expected.size());
 }
 
-/** Corrupt v2 files must fail loudly at load or decode, never read out
- *  of bounds. */
+/** Corrupt v2 files must fail as recoverable StatusErrors at load or
+ *  decode, never read out of bounds. */
 TEST(Trc2Corruption, FooterIndexAndPayload)
 {
     const TempTrace v1("trc2_corrupt.trc1");
@@ -289,14 +290,15 @@ TEST(Trc2Corruption, FooterIndexAndPayload)
     // Footer magic.
     const TempTrace badFooter("trc2_corrupt_footer.trc2");
     corruptCopy(v2.path(), badFooter.path(), fileBytes - 1, 0xff);
-    EXPECT_EXIT(TraceFile{badFooter.path()},
-                testing::ExitedWithCode(1), "bad trace footer");
+    testutil::expectStatusError([&] { TraceFile{badFooter.path()}; },
+                                StatusCode::DataLoss,
+                                "bad trace footer");
 
     // Index offset pointing nowhere sane.
     const TempTrace badIndex("trc2_corrupt_index.trc2");
     corruptCopy(v2.path(), badIndex.path(), fileBytes - 24, 0xff);
-    EXPECT_EXIT(TraceFile{badIndex.path()}, testing::ExitedWithCode(1),
-                "chunk index|truncated");
+    testutil::expectStatusError([&] { TraceFile{badIndex.path()}; },
+                                "chunk index|truncated");
 
     // A truncated file loses the footer entirely.
     const TempTrace cut("trc2_corrupt_cut.trc2");
@@ -313,8 +315,8 @@ TEST(Trc2Corruption, FooterIndexAndPayload)
                   bytes.size());
         std::fclose(out);
     }
-    EXPECT_EXIT(TraceFile{cut.path()}, testing::ExitedWithCode(1),
-                "truncated|footer|index");
+    testutil::expectStatusError([&] { TraceFile{cut.path()}; },
+                                "truncated|footer|index");
 
     // A flipped byte inside a compressed payload fails the zlib
     // checksum when the chunk is decoded.
@@ -322,8 +324,8 @@ TEST(Trc2Corruption, FooterIndexAndPayload)
         const TempTrace badPayload("trc2_corrupt_payload.trc2");
         corruptCopy(v2.path(), badPayload.path(),
                     valid.chunks()[0].offset + 10, 0x55);
-        EXPECT_EXIT(decodeAll(badPayload.path()),
-                    testing::ExitedWithCode(1), "decompress");
+        testutil::expectStatusError(
+            [&] { decodeAll(badPayload.path()); }, "decompress");
     }
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "obs/trace_sink.hh"
 #include "sim/environment.hh"
 #include "workloads/suite.hh"
@@ -124,10 +125,9 @@ usage(const char *argv0)
     return 2;
 }
 
-} // namespace
-
+/** The real tool; main() below maps StatusError to exit(1). */
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string specName;
     std::string envName;
@@ -222,4 +222,20 @@ main(int argc, char **argv)
         std::fputs(sink.summary().c_str(), stdout);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Trace-loading and spec-parsing errors are recoverable
+    // StatusErrors in the library; a CLI turns them back into the
+    // classic exit(1) UX.
+    try {
+        return run(argc, argv);
+    } catch (const StatusError &error) {
+        std::fprintf(stderr, "run_inspect: %s\n", error.what());
+        return 1;
+    }
 }

@@ -78,10 +78,9 @@ isAsapContainer(const std::uint8_t *data, std::size_t size)
             std::memcmp(data, trc2Magic, sizeof(trc2Magic)) == 0);
 }
 
-} // namespace
-
+/** The real tool; main() below maps StatusError to exit(1). */
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::string in, out, from, name;
     Trc2Options options;
@@ -229,4 +228,19 @@ main(int argc, char **argv)
                     out.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Loading/parsing errors are recoverable StatusErrors in the
+    // library; a CLI turns them back into the classic exit(1) UX.
+    try {
+        return run(argc, argv);
+    } catch (const StatusError &error) {
+        std::fprintf(stderr, "trace_convert: %s\n", error.what());
+        return 1;
+    }
 }

@@ -21,6 +21,7 @@
 
 #include <sys/stat.h>
 
+#include "common/status.hh"
 #include "sim/environment.hh"
 #include "workloads/suite.hh"
 #include "workloads/trace.hh"
@@ -59,10 +60,9 @@ usage(const char *argv0)
     return 2;
 }
 
-} // namespace
-
+/** The real tool; main() below maps StatusError to exit(1). */
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     if (argc < 3)
         return usage(argv[0]);
@@ -140,4 +140,19 @@ main(int argc, char **argv)
                 static_cast<double>(fileBytes) /
                     static_cast<double>(accesses));
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Recording/writing errors are recoverable StatusErrors in the
+    // library; a CLI turns them back into the classic exit(1) UX.
+    try {
+        return run(argc, argv);
+    } catch (const StatusError &error) {
+        std::fprintf(stderr, "trace_record: %s\n", error.what());
+        return 1;
+    }
 }
