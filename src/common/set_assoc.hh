@@ -164,6 +164,23 @@ class SetAssoc
         return {};
     }
 
+    /**
+     * Issue `__builtin_prefetch` over the host cache lines backing
+     * @p set's way span (software pipelining: the simulation loop calls
+     * this for access i+D while simulating access i, hiding the host
+     * misses on the multi-MB arrays behind model work). Pure host-side
+     * hint — no model state, ticks or counters are touched.
+     */
+    void
+    prefetchSet(std::uint64_t set) const
+    {
+        const char *base =
+            reinterpret_cast<const char *>(store_ + set * ways_);
+        const std::size_t span = ways_ * sizeof(Way);
+        for (std::size_t off = 0; off < span; off += 64)
+            __builtin_prefetch(base + off, 0, 2);
+    }
+
     /** The combined insert scan (policy in the file comment). */
     Slot
     findOrVictim(std::uint64_t set, std::uint64_t key)
@@ -177,19 +194,26 @@ class SetAssoc
     findOrVictimWhere(std::uint64_t set, std::uint64_t key, Pred pred)
     {
         Way *base = store_ + set * ways_;
-        Way *victim = base;
+        // LRU tracking stays in registers (index + tick) so the scan
+        // compiles to conditional moves: the tick comparison's outcome
+        // is data-random, and a branch there mispredicts roughly every
+        // other miss scan of a full set (the common case for the big
+        // cache arrays).
+        unsigned victim = 0;
+        Tick victimTick = base[0].tick;
         for (unsigned w = 0; w < ways_; ++w) {
             Way &way = base[w];
             if (way.key == key && pred(way.payload))
                 return {refOf(way), true};
             if (way.key == 0) {
-                victim = &way;  // first invalid way wins outright
+                victim = w;     // first invalid way wins outright
                 break;
             }
-            if (way.tick < victim->tick)
-                victim = &way;
+            const bool older = way.tick < victimTick;
+            victimTick = older ? way.tick : victimTick;
+            victim = older ? w : victim;
         }
-        return {refOf(*victim), false};
+        return {refOf(base[victim]), false};
     }
 
     /** Stamp a way as most recently used. */

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -24,7 +25,16 @@ namespace asap
 
 /**
  * Accumulates samples of a scalar quantity (e.g. page-walk latency) and
- * exposes count/sum/mean/min/max.
+ * exposes count/sum/mean/min/max/variance.
+ *
+ * All accumulation is exact integer arithmetic — the second moment in
+ * 128 bits (a 64-bit sample squared cannot overflow a u128 until ~2^64
+ * samples of 2^32, far beyond any run) — so merge() is *associative
+ * and bit-for-bit equal to serial accumulation* regardless of how
+ * samples are partitioned across shards (parallel replay) or cells
+ * (sweep aggregation). A naive float pooled-variance merge would not
+ * be; that exactness is what the parallel-replay equivalence tests
+ * pin.
  */
 class SampleStat
 {
@@ -34,6 +44,7 @@ class SampleStat
     {
         ++count_;
         sum_ += value;
+        sumSquares_ += static_cast<unsigned __int128>(value) * value;
         min_ = std::min(min_, value);
         max_ = std::max(max_, value);
     }
@@ -43,16 +54,20 @@ class SampleStat
     {
         count_ = 0;
         sum_ = 0;
+        sumSquares_ = 0;
         min_ = std::numeric_limits<std::uint64_t>::max();
         max_ = 0;
     }
 
-    /** Fold another accumulator in (cross-cell aggregation). */
+    /** Fold another accumulator in (cross-cell / cross-shard
+     *  aggregation). Exact: every field is an integer sum or a
+     *  min/max, so merge order cannot change the result. */
     void
     merge(const SampleStat &other)
     {
         count_ += other.count_;
         sum_ += other.sum_;
+        sumSquares_ += other.sumSquares_;
         min_ = std::min(min_, other.min_);
         max_ = std::max(max_, other.max_);
     }
@@ -62,15 +77,31 @@ class SampleStat
     std::uint64_t min() const { return count_ ? min_ : 0; }
     std::uint64_t max() const { return max_; }
 
+    /** Second moment, split into u64 halves for serialization. */
+    std::uint64_t
+    sumSquaresHi() const
+    {
+        return static_cast<std::uint64_t>(sumSquares_ >> 64);
+    }
+    std::uint64_t
+    sumSquaresLo() const
+    {
+        return static_cast<std::uint64_t>(sumSquares_);
+    }
+
     /** Rebuild from serialized fields (sweep-journal resume). @p min
      *  is the *reported* min, i.e. 0 stands for "empty" when count is
-     *  0 — the internal empty sentinel is restored in that case. */
+     *  0 — the internal empty sentinel is restored in that case.
+     *  @p sqHi / @p sqLo are the second moment's u64 halves. */
     void
     restore(std::uint64_t count, std::uint64_t sum, std::uint64_t min,
-            std::uint64_t max)
+            std::uint64_t max, std::uint64_t sqHi = 0,
+            std::uint64_t sqLo = 0)
     {
         count_ = count;
         sum_ = sum;
+        sumSquares_ =
+            (static_cast<unsigned __int128>(sqHi) << 64) | sqLo;
         min_ = count ? min : std::numeric_limits<std::uint64_t>::max();
         max_ = max;
     }
@@ -83,9 +114,29 @@ class SampleStat
                                  static_cast<double>(count_);
     }
 
+    /** Population variance E[x^2] - E[x]^2 (0 when empty). */
+    double
+    variance() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        const double n = static_cast<double>(count_);
+        const double m = mean();
+        return static_cast<double>(sumSquares_) / n - m * m;
+    }
+
+    double
+    stddev() const
+    {
+        const double var = variance();
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
   private:
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
+    /** Exact second moment (see class comment). */
+    unsigned __int128 sumSquares_ = 0;
     std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t max_ = 0;
 };

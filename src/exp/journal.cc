@@ -60,6 +60,10 @@ sampleStatToJson(const SampleStat &stat)
     out.set("sum", u64Str(stat.sum()));
     out.set("min", u64Str(stat.min()));
     out.set("max", u64Str(stat.max()));
+    // The exact second moment, as u64 halves (u128 has no decimal
+    // printer); needed so a resumed sweep's variance stays bit-exact.
+    out.set("sqHi", u64Str(stat.sumSquaresHi()));
+    out.set("sqLo", u64Str(stat.sumSquaresLo()));
     return out;
 }
 
@@ -70,7 +74,13 @@ sampleStatFromJson(const Json &json, SampleStat &stat)
     if (!getU64(json, "count", count) || !getU64(json, "sum", sum) ||
         !getU64(json, "min", min) || !getU64(json, "max", max))
         return false;
-    stat.restore(count, sum, min, max);
+    // Absent in journals written before the moment was tracked — an
+    // old journal restores with a zero second moment rather than
+    // failing its whole cell.
+    std::uint64_t sqHi = 0, sqLo = 0;
+    getU64(json, "sqHi", sqHi);
+    getU64(json, "sqLo", sqLo);
+    stat.restore(count, sum, min, max, sqHi, sqLo);
     return true;
 }
 

@@ -11,6 +11,8 @@
 #include <set>
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/fault_inject.hh"
 #include "common/logging.hh"
 #include "exp/journal.hh"
@@ -415,16 +417,32 @@ progressEnabled()
     return enabled;
 }
 
+/** The \r/\033[K live line only works on a terminal; into a CI log or
+ *  a redirected file it garbles every line into one. */
+bool
+progressIsTty()
+{
+    static const bool tty = isatty(fileno(stderr)) != 0;
+    return tty;
+}
+
 void
 reportGroupDone(unsigned done, unsigned total, const std::string &label)
 {
     if (progressEnabled()) {
         static std::mutex mutex;
         std::lock_guard<std::mutex> lock(mutex);
-        std::fprintf(stderr,
-                     "\r[asap] progress: %u/%u groups (last: %s)\033[K%s",
-                     done, total, label.c_str(),
-                     done == total ? "\n" : "");
+        if (progressIsTty()) {
+            std::fprintf(
+                stderr,
+                "\r[asap] progress: %u/%u groups (last: %s)\033[K%s",
+                done, total, label.c_str(),
+                done == total ? "\n" : "");
+        } else {
+            std::fprintf(stderr,
+                         "[asap] progress: %u/%u groups (last: %s)\n",
+                         done, total, label.c_str());
+        }
         std::fflush(stderr);
         return;
     }

@@ -1,0 +1,93 @@
+#include "sim/parallel_replay.hh"
+
+#include <vector>
+
+#include "exp/thread_pool.hh"
+#include "obs/profile.hh"
+#include "trace/trace_file.hh"
+
+namespace asap
+{
+
+StatusOr<RunStats>
+runParallelReplay(const WorkloadSpec &spec,
+                  const EnvironmentOptions &envOptions,
+                  const MachineConfig &machineConfig,
+                  const RunConfig &runConfig,
+                  const ParallelReplayOptions &options)
+{
+    if (options.shards == 0)
+        return Status::invalidArgument("parallel replay: 0 shards");
+    if (spec.tracePath.empty()) {
+        return Status::invalidArgument(
+            "parallel replay requires a trace workload (generator '" +
+            spec.name + "' has no O(1) seek)");
+    }
+    // Validate the container up front — and reject dynamic traces: OS
+    // events are a function of the whole stream prefix, so a shard
+    // seeking past them would replay a different machine history.
+    {
+        StatusOr<std::unique_ptr<TraceFile>> file =
+            TraceFile::open(spec.tracePath);
+        if (!file.ok())
+            return file.status();
+        if ((*file)->hasEventOps()) {
+            return Status::invalidArgument(
+                "parallel replay of dynamic (OS-event) trace '" +
+                spec.tracePath +
+                "': events depend on the whole stream prefix and "
+                "cannot be sharded");
+        }
+    }
+
+    const double start = obs::wallSeconds();
+    const unsigned shards = options.shards;
+    const std::uint64_t measure = runConfig.measureAccesses;
+
+    std::vector<RunStats> results(shards);
+    std::vector<Status> statuses(shards);
+    {
+        exp::ThreadPool pool(options.threads);
+        for (unsigned k = 0; k < shards; ++k) {
+            pool.submit([&, k] {
+                statuses[k] = runToStatus([&] {
+                    EnvironmentOptions shardOptions = envOptions;
+                    shardOptions.instance = envOptions.instance + k;
+                    Environment env(spec, shardOptions);
+                    RunConfig shardRun = runConfig;
+                    shardRun.measureSeek = true;
+                    shardRun.measureSkip = measure * k / shards;
+                    shardRun.measureAccesses =
+                        measure * (k + 1) / shards -
+                        measure * k / shards;
+                    results[k] = env.run(machineConfig, shardRun);
+                });
+            });
+        }
+        pool.wait();
+    }
+    for (const Status &status : statuses) {
+        if (!status.ok())
+            return status;
+    }
+
+    // Merge in shard order: deterministic and thread-count-invariant.
+    RunStats merged = std::move(results[0]);
+    for (unsigned k = 1; k < shards; ++k)
+        merged.merge(results[k]);
+
+    // The self-profile of a parallel run is the wall-clock of the
+    // whole section (shard times overlap; environment builds are
+    // replicated per shard and dominate small runs).
+    merged.profile = obs::SelfProfile{};
+    merged.profile.wallSec = obs::wallSeconds() - start;
+    merged.profile.measureSec = merged.profile.wallSec;
+    merged.profile.accessesPerSec =
+        merged.profile.wallSec > 0.0
+            ? static_cast<double>(measure) / merged.profile.wallSec
+            : 0.0;
+    merged.profile.peakRssBytes = obs::peakRssBytes();
+    return merged;
+}
+
+} // namespace asap

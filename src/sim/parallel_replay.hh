@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Intra-run parallel trace replay: shard one trace's measure phase
+ * across threads, each shard simulating its slice on a private,
+ * identically warmed machine, and merge the per-shard RunStats.
+ *
+ * Semantics — the *replicated-machine* model (ROADMAP item 3): every
+ * shard builds its own Environment (System + page tables + replayed
+ * setup) and Machine, runs the same warmup prefix [0, W) of the stored
+ * stream, then seeks to W + k*M/N and measures its slice of the M
+ * measure accesses. RunStats of a warmed steady-state run are sums of
+ * per-access contributions, so the merged result is exact per slice —
+ * but each shard's caches/TLBs enter *its* slice with the
+ * end-of-warmup state rather than the end of the preceding slice, so
+ * for N > 1 the merged stats are not bit-identical to a serial replay
+ * (they agree to steady-state noise). This is why parallel replay is
+ * an explicit opt-in mode, never a default. The guarantees that ARE
+ * exact, and that tests/test_parallel.cc pins bit-for-bit:
+ *
+ *  - one shard (N=1) is bit-identical to a plain serial replay (the
+ *    seek to W is positionally a no-op);
+ *  - for any N, the result is independent of the worker-thread count
+ *    (shards are deterministic and merged in shard order);
+ *  - the merge itself is exact and associative (integer sums, pooled
+ *    moments, bucket-wise histograms — see RunStats::merge).
+ *
+ * Only static stored streams can be sharded: generator workloads have
+ * no O(1) seek (their position is RNG state), and dynamic traces'
+ * OS events are a function of the whole stream prefix. Both are
+ * rejected with an InvalidArgument Status.
+ */
+
+#ifndef ASAP_SIM_PARALLEL_REPLAY_HH
+#define ASAP_SIM_PARALLEL_REPLAY_HH
+
+#include "common/status.hh"
+#include "sim/environment.hh"
+
+namespace asap
+{
+
+struct ParallelReplayOptions
+{
+    /** Measure-phase slices, each on a private warmed machine. */
+    unsigned shards = 1;
+    /** Worker threads; 0 resolves via exp::ThreadPool::jobsFromEnv().
+     *  The result is thread-count-invariant. */
+    unsigned threads = 0;
+};
+
+/**
+ * Replay @p spec (which must name a static trace workload) under
+ * @p envOptions / @p machineConfig, sharding @p runConfig's measure
+ * phase options.shards ways, and return the merged RunStats.
+ *
+ * The merged profile carries the wall-clock of the whole parallel
+ * section (environment builds included) — per-shard wall times
+ * overlap and are not summed.
+ *
+ * Never throws: shard failures (bad trace, allocation) come back as
+ * the first failing shard's Status.
+ */
+StatusOr<RunStats>
+runParallelReplay(const WorkloadSpec &spec,
+                  const EnvironmentOptions &envOptions,
+                  const MachineConfig &machineConfig,
+                  const RunConfig &runConfig,
+                  const ParallelReplayOptions &options = {});
+
+} // namespace asap
+
+#endif // ASAP_SIM_PARALLEL_REPLAY_HH

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include "common/logging.hh"
 #include "dyn/dynamics.hh"
 #include "os/pt_allocators.hh"
 
@@ -13,6 +14,73 @@ namespace
 constexpr std::size_t accessBatch = 1024;
 
 } // namespace
+
+void
+RunStats::merge(const RunStats &other)
+{
+    accesses += other.accesses;
+    tlbL1Hits += other.tlbL1Hits;
+    tlbL2Hits += other.tlbL2Hits;
+    tlbMisses += other.tlbMisses;
+    faults += other.faults;
+
+    walkLatency.merge(other.walkLatency);
+    for (std::size_t i = 0; i < levelDist.size(); ++i)
+        levelDist[i].merge(other.levelDist[i]);
+    walkHist.merge(other.walkHist);
+    dataHist.merge(other.dataHist);
+    for (std::size_t i = 0; i < levelHist.size(); ++i)
+        levelHist[i].merge(other.levelHist[i]);
+
+    totalCycles += other.totalCycles;
+    walkCycles += other.walkCycles;
+    dataCycles += other.dataCycles;
+    computeCycles += other.computeCycles;
+
+    appAsap.merge(other.appAsap);
+    hostAsap.merge(other.hostAsap);
+
+    // OsDynStats: field-wise sums. Parallel replay rejects dynamic
+    // traces, so in that use these are all zero — but merge stays
+    // total so any future aggregation can rely on it.
+    dyn.events += other.dyn.events;
+    dyn.mmaps += other.dyn.mmaps;
+    dyn.munmaps += other.dyn.munmaps;
+    dyn.minorFaults += other.dyn.minorFaults;
+    dyn.madviseFrees += other.dyn.madviseFrees;
+    dyn.extends += other.dyn.extends;
+    dyn.churnReleases += other.dyn.churnReleases;
+    dyn.dataPagesFreed += other.dyn.dataPagesFreed;
+    dyn.ptNodesFreed += other.dyn.ptNodesFreed;
+    dyn.churnFramesReleased += other.dyn.churnFramesReleased;
+    dyn.tlbInvalidated += other.dyn.tlbInvalidated;
+    dyn.pwcInvalidated += other.dyn.pwcInvalidated;
+    dyn.regionGrowthHoles += other.dyn.regionGrowthHoles;
+    dyn.regionRelocations += other.dyn.regionRelocations;
+    dyn.regionsReleased += other.dyn.regionsReleased;
+    dyn.regionFramesReleased += other.dyn.regionFramesReleased;
+
+    // Counter snapshots add positionally: identically configured
+    // machines register the identical name list in the identical
+    // order, and a mismatch means the caller merged across different
+    // machine configurations — a programming error.
+    if (counters.empty()) {
+        counters = other.counters;
+    } else {
+        panic_if(counters.size() != other.counters.size(),
+                 "RunStats::merge: counter lists differ (%zu vs %zu)",
+                 counters.size(), other.counters.size());
+        for (std::size_t i = 0; i < counters.size(); ++i) {
+            panic_if(counters[i].first != other.counters[i].first,
+                     "RunStats::merge: counter %zu name mismatch "
+                     "(%s vs %s)",
+                     i, counters[i].first.c_str(),
+                     other.counters[i].first.c_str());
+            counters[i].second += other.counters[i].second;
+        }
+    }
+    // profile: deliberately untouched (see the declaration).
+}
 
 template <bool Measuring, bool PerfectTlb>
 void
@@ -29,102 +97,223 @@ Simulator::runPhase(std::uint64_t accesses, const RunConfig &config,
         stats.computeCycles += cpa * accesses;
     }
 
-    VirtAddr vas[accessBatch];
-    while (accesses > 0) {
-        std::size_t batch =
-            accesses < accessBatch ? static_cast<std::size_t>(accesses)
-                                   : accessBatch;
-        if (dyn_) {
-            // Fire every event due at this point of the access stream,
-            // then cap the batch so the next one lands exactly on the
-            // next event's offset. With no event stream (the static
-            // path) none of this runs and batching is unchanged.
-            dyn_->applyDue(consumed_, stats.dyn, now);
-            const std::uint64_t gap = dyn_->gapUntilNext(consumed_);
-            if (gap < batch)
-                batch = static_cast<std::size_t>(gap);
-        }
-        accesses -= batch;
-        // The generator draws only from rng and never observes machine
-        // state, so producing a batch up front leaves every simulated
-        // event in the exact order of the access-at-a-time loop.
-        workload_.nextBatch(rng, vas, batch);
-
-        for (std::size_t i = 0; i < batch; ++i) {
-            const VirtAddr va = vas[i];
-
-            Cycles walkLatency = 0;
-            Translation translation;
-            if (PerfectTlb) {
-                // Ideal TLB: translation is free (Table 6 methodology:
-                // execution with page walks eliminated).
-                translation = system_.touch(va).translation;
-            } else {
-                const Machine::TranslateResult result =
-                    machine_.translate(va, now);
-                translation = result.translation;
-                walkLatency = result.walkLatency;
-                if (Measuring) {
-                    switch (result.tlbLevel) {
-                      case TlbHitLevel::L1:
-                        ++stats.tlbL1Hits;
-                        break;
-                      case TlbHitLevel::L2:
-                        ++stats.tlbL2Hits;
-                        break;
-                      case TlbHitLevel::Miss:
-                        ++stats.tlbMisses;
-                        break;
-                    }
-                    if (result.faulted)
-                        ++stats.faults;
-                    if (result.walked) {
-                        stats.walkLatency.sample(walkLatency);
-                        stats.walkHist.sample(walkLatency);
-                        if (result.walk) {
-                            for (unsigned level = 1; level <= 5;
-                                 ++level) {
-                                if (result.walk->requested[level]) {
-                                    stats.levelDist[level].record(
-                                        result.walk->servedBy[level]);
-                                    stats.levelHist[level].sample(
-                                        result.walk
-                                            ->levelLatency[level]);
-                                }
+    // One access of model work, shared by the plain and the
+    // software-pipelined loops below. noinline: one out-of-line copy
+    // serves both loops — inlining duplicates this large body into
+    // each and measurably loses (front-end pressure) on top of
+    // doubling the code.
+    const auto simulateOne = [&](VirtAddr va) __attribute__((noinline)) {
+        Cycles walkLatency = 0;
+        Translation translation;
+        if (PerfectTlb) {
+            // Ideal TLB: translation is free (Table 6 methodology:
+            // execution with page walks eliminated).
+            translation = system_.touch(va).translation;
+        } else {
+            const Machine::TranslateResult result =
+                machine_.translate(va, now);
+            translation = result.translation;
+            walkLatency = result.walkLatency;
+            if (Measuring) {
+                switch (result.tlbLevel) {
+                  case TlbHitLevel::L1:
+                    ++stats.tlbL1Hits;
+                    break;
+                  case TlbHitLevel::L2:
+                    ++stats.tlbL2Hits;
+                    break;
+                  case TlbHitLevel::Miss:
+                    ++stats.tlbMisses;
+                    break;
+                }
+                if (result.faulted)
+                    ++stats.faults;
+                if (result.walked) {
+                    stats.walkLatency.sample(walkLatency);
+                    stats.walkHist.sample(walkLatency);
+                    if (result.walk) {
+                        for (unsigned level = 1; level <= 5; ++level) {
+                            if (result.walk->requested[level]) {
+                                stats.levelDist[level].record(
+                                    result.walk->servedBy[level]);
+                                stats.levelHist[level].sample(
+                                    result.walk->levelLatency[level]);
                             }
                         }
                     }
                 }
             }
-
-            const PhysAddr pa = translation.physAddrOf(va);
-            Cycles dataLatency = machine_.dataAccess(pa);
-            // Streaming accesses are covered by the ubiquitous next-line
-            // data prefetcher: the fill (and its cache pressure) is real,
-            // but the core does not expose the miss latency.
-            if (va == lastVa_ + lineSize)
-                dataLatency = streamingLatency;
-            lastVa_ = va;
-
-            now += cpa + dataLatency + walkLatency;
-            if (Measuring) {
-                // accesses/compute/total are derived outside the loop:
-                // accesses = the phase's count, computeCycles =
-                // cpa * accesses, totalCycles = the three components.
-                stats.dataCycles += dataLatency;
-                stats.walkCycles += walkLatency;
-                stats.dataHist.sample(dataLatency);
-            }
-
-            // SMT co-runner: one random access per workload access
-            // (Section 4), contending for the shared cache hierarchy
-            // only.
-            if (colocation) {
-                for (unsigned c = 0; c < corunnerPerAccess; ++c)
-                    machine_.corunnerAccess(corunnerRng);
-            }
         }
-        consumed_ += batch;
+
+        const PhysAddr pa = translation.physAddrOf(va);
+        Cycles dataLatency = machine_.dataAccess(pa);
+        // Streaming accesses are covered by the ubiquitous next-line
+        // data prefetcher: the fill (and its cache pressure) is real,
+        // but the core does not expose the miss latency.
+        if (va == lastVa_ + lineSize)
+            dataLatency = streamingLatency;
+        lastVa_ = va;
+
+        now += cpa + dataLatency + walkLatency;
+        if (Measuring) {
+            // accesses/compute/total are derived outside the loop:
+            // accesses = the phase's count, computeCycles =
+            // cpa * accesses, totalCycles = the three components.
+            stats.dataCycles += dataLatency;
+            stats.walkCycles += walkLatency;
+            stats.dataHist.sample(dataLatency);
+        }
+
+        // SMT co-runner: one random access per workload access
+        // (Section 4), contending for the shared cache hierarchy
+        // only.
+        if (colocation) {
+            for (unsigned c = 0; c < corunnerPerAccess; ++c)
+                machine_.corunnerAccess(corunnerRng);
+        }
+    };
+
+    // Software pipelining is disabled for perfect-TLB runs (nothing a
+    // prefetch could predict — the TLBs are never filled) and for
+    // dynamic runs, where a batch may only be generated *after* the OS
+    // events due before it have fired (generation observes the VMA
+    // layout they mutate), so there is no safe lookahead window across
+    // batch boundaries. Under virtualization the translation lookahead
+    // is off too: a guest PTE names a guest frame, whose host lines
+    // need the host dimension's mapping — nothing useful is
+    // predictable from the guest-side peek, and the measured residue
+    // is pure overhead. Colocation runs keep the pipelined loop for
+    // the co-runner RNG lookahead, which is dimension-blind.
+    const bool coPrefetch = colocation && corunnerPerAccess > 0;
+    const bool xlatePrefetch = !system_.virtualized();
+    const std::size_t dist =
+        (PerfectTlb || dyn_ || (!xlatePrefetch && !coPrefetch))
+            ? 0
+            : config.prefetchDistance;
+
+    if (dist == 0) {
+        VirtAddr vas[accessBatch];
+        while (accesses > 0) {
+            std::size_t batch =
+                accesses < accessBatch
+                    ? static_cast<std::size_t>(accesses)
+                    : accessBatch;
+            if (dyn_) {
+                // Fire every event due at this point of the access
+                // stream, then cap the batch so the next one lands
+                // exactly on the next event's offset. With no event
+                // stream (the static path) none of this runs and
+                // batching is unchanged.
+                dyn_->applyDue(consumed_, stats.dyn, now);
+                const std::uint64_t gap = dyn_->gapUntilNext(consumed_);
+                if (gap < batch)
+                    batch = static_cast<std::size_t>(gap);
+            }
+            accesses -= batch;
+            // The generator draws only from rng and never observes
+            // machine state, so producing a batch up front leaves every
+            // simulated event in the exact order of the
+            // access-at-a-time loop.
+            workload_.nextBatch(rng, vas, batch);
+
+            for (std::size_t i = 0; i < batch; ++i)
+                simulateOne(vas[i]);
+            consumed_ += batch;
+        }
+        return;
+    }
+
+    // The software-pipelined static loop: double-buffered batches, so
+    // the lookahead window crosses batch boundaries. Two prefetch
+    // stages run ahead of the simulation of access i:
+    //
+    //   stage 1 at i+dist:    PWC peek, prefetch the slab PTE line and
+    //                         the memory-model sets its walk will scan;
+    //   stage 2 at i+dist/2:  read the PTE stage 1 prefetched (now
+    //                         host-cached), predict the data physical
+    //                         address, prefetch the LLC tag-set lines
+    //                         its data access will scan.
+    //
+    // The stage-2 read is the trick: the leaf PTE *is* one of the
+    // host-missing lines, so reading it synchronously would stall for
+    // exactly the latency being hidden — unless a farther stage
+    // covered it first. Host-side hints only: the simulated event
+    // order and every RunStats bit are identical to the plain loop
+    // above (Golden suite).
+    VirtAddr bufs[2][accessBatch];
+    VirtAddr *cur = bufs[0];
+    VirtAddr *next = bufs[1];
+    const auto draw = [&](VirtAddr *out) -> std::size_t {
+        const std::size_t batch =
+            accesses < accessBatch ? static_cast<std::size_t>(accesses)
+                                   : accessBatch;
+        accesses -= batch;
+        workload_.nextBatch(rng, out, batch);
+        return batch;
+    };
+
+    // Stage-1 results ride this ring until their stage-2 slot comes
+    // up, delay = dist - dist/2 accesses later.
+    struct Predicted
+    {
+        VirtAddr va;
+        const Pte *pte;
+    };
+    const std::size_t delay = dist - dist / 2;
+    std::vector<Predicted> ring(delay, Predicted{0, nullptr});
+    std::size_t ringPos = 0;
+    // Workloads are bursty (several accesses per touched page): a
+    // lookahead access on the same page as the previous one needs no
+    // new stage-1 probe — its lines were just prefetched.
+    Vpn lastPeekVpn = ~Vpn{0};
+
+    // Co-runner lookahead: the co-runner address stream is pure RNG
+    // output, so a *copy* of its generator run dist accesses ahead
+    // predicts every future address exactly. Each predicted address
+    // names the LLC tag set its accessPlain will scan — the dominant
+    // host-memory traffic of colocation runs. The copy never touches
+    // the real corunnerRng, so the simulated stream is unchanged.
+    const std::uint64_t machineMem = system_.machineMemBytes();
+    Rng corunnerAhead = corunnerRng;
+    if (coPrefetch) {
+        for (std::size_t k = 0; k < dist * corunnerPerAccess; ++k) {
+            machine_.mem().prefetchHostSets(
+                corunnerAhead.below(machineMem));
+        }
+    }
+
+    std::size_t curCount = draw(cur);
+    while (curCount > 0) {
+        const std::size_t nextCount = draw(next);
+        for (std::size_t i = 0; i < curCount; ++i) {
+            const std::size_t ahead = i + dist;
+            Predicted incoming{0, nullptr};
+            if (ahead < curCount)
+                incoming.va = cur[ahead];
+            else if (ahead - curCount < nextCount)
+                incoming.va = next[ahead - curCount];
+            if (xlatePrefetch && incoming.va != 0 &&
+                vpnOf(incoming.va) != lastPeekVpn) {
+                lastPeekVpn = vpnOf(incoming.va);
+                incoming.pte = machine_.prefetchWalkTarget(incoming.va);
+            }
+            Predicted &slot = ring[ringPos];
+            if (slot.pte != nullptr)
+                machine_.prefetchDataTarget(slot.va, slot.pte);
+            slot = incoming;
+            ringPos = ringPos + 1 == delay ? 0 : ringPos + 1;
+            if (coPrefetch) {
+                for (unsigned c = 0; c < corunnerPerAccess; ++c) {
+                    machine_.mem().prefetchHostSets(
+                        corunnerAhead.below(machineMem));
+                }
+            }
+            simulateOne(cur[i]);
+        }
+        consumed_ += curCount;
+        cur = (cur == bufs[0]) ? bufs[1] : bufs[0];
+        next = (next == bufs[0]) ? bufs[1] : bufs[0];
+        curCount = nextCount;
     }
 }
 
@@ -159,17 +348,30 @@ Simulator::run(const RunConfig &config)
                   appAllocator->releasedFrames()};
     }
 
+    // Parallel replay: a shard measures its slice of the stream. The
+    // warmup prefix ran as usual (identical machine state across
+    // shards); reposition the stored stream at the slice start. With
+    // measureSkip 0 (one shard) the seek is positionally a no-op and
+    // the run is bit-identical to a plain serial one — the equivalence
+    // tests/test_parallel.cc pins.
+    const auto seekForMeasure = [&] {
+        if (config.measureSeek)
+            workload_.seekTo(config.warmupAccesses + config.measureSkip);
+    };
+
     const double phaseStart = obs::wallSeconds();
     if (config.perfectTlb) {
         runPhase<false, true>(config.warmupAccesses, config, cpa, rng,
                               corunnerRng, now, stats);
         stats.profile.warmupSec = obs::wallSeconds() - phaseStart;
+        seekForMeasure();
         runPhase<true, true>(config.measureAccesses, config, cpa, rng,
                              corunnerRng, now, stats);
     } else {
         runPhase<false, false>(config.warmupAccesses, config, cpa, rng,
                                corunnerRng, now, stats);
         stats.profile.warmupSec = obs::wallSeconds() - phaseStart;
+        seekForMeasure();
         runPhase<true, false>(config.measureAccesses, config, cpa, rng,
                               corunnerRng, now, stats);
     }

@@ -47,6 +47,29 @@ struct RunConfig
     /** Ideal-TLB run: no misses, no walks (Table 6 methodology). */
     bool perfectTlb = false;
     std::uint64_t seed = 7;
+
+    /**
+     * Software-pipelining lookahead: while access i is simulated, the
+     * host cache lines its structures' set scans will touch for access
+     * i+D are `__builtin_prefetch`ed (Machine::prefetchWalkTarget /
+     * prefetchDataTarget, plus the co-runner RNG lookahead). 0
+     * disables. Host-side only — any distance produces bit-identical
+     * RunStats; the default was tuned with `bench/perf_hotpath
+     * --prefetch-dist` (the win is host-dependent: see README
+     * "Performance"). Ignored for perfect-TLB and dynamic (OS-event)
+     * runs, where lookahead is pointless or unsafe respectively.
+     */
+    unsigned prefetchDistance = 16;
+
+    /**
+     * Parallel replay (src/sim/parallel_replay.hh): reposition a
+     * seekable workload's address stream to stored access
+     * warmupAccesses + measureSkip between the warmup and measure
+     * phases, so a shard measures its slice of the stream after the
+     * shared warmup prefix. Requires Workload::seekable().
+     */
+    bool measureSeek = false;
+    std::uint64_t measureSkip = 0;
 };
 
 /** Lifetime counters of one ASAP engine over a run (incl. warmup). */
@@ -56,6 +79,16 @@ struct AsapEngineStats
     std::uint64_t rangeHits = 0;   ///< range-register matches
     std::uint64_t attempted = 0;   ///< per-level prefetches attempted
     std::uint64_t issued = 0;      ///< accepted by the hierarchy
+
+    /** Fold another engine's counters in (parallel-replay merge). */
+    void
+    merge(const AsapEngineStats &other)
+    {
+        triggers += other.triggers;
+        rangeHits += other.rangeHits;
+        attempted += other.attempted;
+        issued += other.issued;
+    }
 };
 
 struct RunStats
@@ -135,6 +168,19 @@ struct RunStats
                    : static_cast<double>(walkCycles) /
                          static_cast<double>(totalCycles);
     }
+
+    /**
+     * Fold another run's statistics in (parallel-replay shard merge,
+     * src/sim/parallel_replay.hh). Every aggregate here is a sum of
+     * per-access contributions, so merging is exact and associative:
+     * counts/cycles add, SampleStat/LevelDistribution/obs::Histogram
+     * merge bucket- and moment-wise, and the registered counter
+     * snapshots — identical name lists for identically configured
+     * machines — add positionally. The wall-clock self-profile is NOT
+     * merged (per-shard wall times overlap); callers time the whole
+     * parallel run themselves.
+     */
+    void merge(const RunStats &other);
 };
 
 class Simulator

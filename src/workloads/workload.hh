@@ -58,6 +58,21 @@ class Workload
     }
 
     /**
+     * Can the address stream be repositioned in O(1) — i.e. is this a
+     * stored stream (trace replay) rather than a live generator whose
+     * position is its RNG state? Gates the parallel-replay sharding
+     * mode (src/sim/parallel_replay.hh).
+     */
+    virtual bool seekable() const { return false; }
+
+    /**
+     * Reposition the stream so the next next()/nextBatch() address is
+     * stored access @p index (modulo the stored length). Only valid
+     * when seekable(); the default is an internal error.
+     */
+    virtual void seekTo(std::uint64_t index);
+
+    /**
      * The workload's OS-event stream (src/dyn/os_events.hh), valid
      * after setup(); nullptr (the default) for static workloads. The
      * Simulator fires these events at their access offsets — mid-run
