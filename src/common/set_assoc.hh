@@ -181,6 +181,27 @@ class SetAssoc
             __builtin_prefetch(base + off, 0, 2);
     }
 
+    /**
+     * Valid (non-zero-key) ways across the whole array — the occupancy
+     * gauge behind the timeline's valid-entry fractions. Exploits the
+     * valid-prefix invariant (file comment): each set's scan stops at
+     * its first invalid way, so the cost is O(valid + sets). Read-only
+     * introspection — never on the lookup/fill hot paths.
+     */
+    std::uint64_t
+    validCount() const
+    {
+        std::uint64_t valid = 0;
+        for (std::uint64_t set = 0; set < sets_; ++set) {
+            const Way *base = store_ + set * ways_;
+            unsigned w = 0;
+            while (w < ways_ && base[w].key != 0)
+                ++w;
+            valid += w;
+        }
+        return valid;
+    }
+
     /** The combined insert scan (policy in the file comment). */
     Slot
     findOrVictim(std::uint64_t set, std::uint64_t key)

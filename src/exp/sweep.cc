@@ -5,6 +5,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -18,6 +19,7 @@
 #include "exp/journal.hh"
 #include "exp/result_table.hh"
 #include "exp/thread_pool.hh"
+#include "obs/timeline.hh"
 #include "trace/trace_file.hh"
 
 namespace asap::exp
@@ -501,6 +503,72 @@ cellKey(const Cell &cell, std::uint64_t seed)
                              cell.measure ? 'm' : 'p'));
 }
 
+/** Opt-in per-cell timeline artifacts (ASAP_TIMELINE=N): N > 1 is the
+ *  epoch length in measured accesses, N = 1 (or any other truthy
+ *  value) means measure/32 like run_inspect's default. The timelines
+ *  are *extra* files beside the sweep's CSV/JSON, never part of them,
+ *  so the byte-identical-artifacts guarantee across ASAP_JOBS holds:
+ *  each cell's timeline depends only on its own deterministic run. */
+std::uint64_t
+timelineEpochAccesses(std::uint64_t measureAccesses)
+{
+    // Read per cell attempt (cold path) rather than cached: tests
+    // toggle the gate between sweeps within one process.
+    const char *env = std::getenv("ASAP_TIMELINE");
+    if (!env || env[0] == '\0' || env[0] == '0')
+        return 0;
+    const std::uint64_t value = std::strtoull(env, nullptr, 0);
+    if (value > 1)
+        return value;
+    const std::uint64_t epoch = measureAccesses / 32;
+    return epoch ? epoch : 1;
+}
+
+/** Cell labels become filename fragments; anything shell- or
+ *  path-hostile ('/', '@', spaces) flattens to '-'. */
+std::string
+fileSafe(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '_' ||
+                          c == '-' || c == '.';
+        if (!keep)
+            c = '-';
+    }
+    return out;
+}
+
+/** Best-effort write of one cell's timeline artifact into the results
+ *  directory. Failures (including injected timeline-write faults)
+ *  warn and return: a timeline is telemetry, never a reason to fail —
+ *  or retry — the cell that produced it. */
+void
+writeCellTimeline(const std::string &sweep, const Cell &cell,
+                  const obs::Timeline &timeline)
+{
+    const std::string dir = resultsDir();
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create results dir %s: %s", dir.c_str(),
+             ec.message().c_str());
+        return;
+    }
+    const std::string path = dir + "/" + fileSafe(sweep) + "_timeline_" +
+                             fileSafe(cell.row) + "_" +
+                             fileSafe(cell.column) + ".jsonl";
+    const Status status = timeline.writeJsonl(path);
+    if (!status.ok()) {
+        warn("timeline artifact %s failed: %s", path.c_str(),
+             status.toString().c_str());
+    }
+}
+
 /**
  * One guarded execution attempt for one cell. Everything the attempt
  * touches is owned through shared_ptr (a private copy of the Cell, a
@@ -512,7 +580,7 @@ cellKey(const Cell &cell, std::uint64_t seed)
  */
 Status
 runCellAttempt(const std::shared_ptr<const Cell> &cell,
-               std::uint64_t seed,
+               const std::string &sweepName, std::uint64_t seed,
                const std::shared_ptr<std::shared_ptr<Environment>> &envSlot,
                const std::shared_ptr<CellResult> &scratch,
                const std::shared_ptr<std::atomic<bool>> &cancelled)
@@ -536,8 +604,19 @@ runCellAttempt(const std::shared_ptr<const Cell> &cell,
         if (cell->measure) {
             RunConfig run = cell->run;
             run.seed = seed;
-            scratch->stats = (*envSlot)->run(cell->machine, run);
-            scratch->measured = true;
+            const std::uint64_t epochLen =
+                timelineEpochAccesses(run.measureAccesses);
+            if (epochLen != 0) {
+                obs::Timeline timeline(epochLen);
+                timeline.setEnabled(true);
+                scratch->stats = (*envSlot)->run(cell->machine, run,
+                                                 nullptr, &timeline);
+                scratch->measured = true;
+                writeCellTimeline(sweepName, *cell, timeline);
+            } else {
+                scratch->stats = (*envSlot)->run(cell->machine, run);
+                scratch->measured = true;
+            }
         }
         if (cell->probe)
             cell->probe(**envSlot, *scratch);
@@ -632,7 +711,7 @@ SweepRunner::run(const SweepSpec &spec) const
         const std::vector<std::size_t> &indices = *group;
         pool.submit([&cells, &results, &seeds, &keys, &indices,
                      &completed, &failedCells, &retriedCells, &journal,
-                     &policy, total] {
+                     &policy, total, sweepName = spec.name()] {
             const Cell &first = cells[indices.front()];
             // The group's Environment, double-indirected: the outer
             // pointer is what a timed-out (zombie) attempt keeps; the
@@ -657,15 +736,16 @@ SweepRunner::run(const SweepSpec &spec) const
                         std::make_shared<std::atomic<bool>>(false);
                     Status status;
                     if (policy.timeoutSec == 0) {
-                        status = runCellAttempt(cellCopy, seeds[index],
-                                                envSlot, scratch,
-                                                cancelled);
+                        status = runCellAttempt(cellCopy, sweepName,
+                                                seeds[index], envSlot,
+                                                scratch, cancelled);
                     } else {
                         auto task = std::make_shared<
                             std::packaged_task<Status()>>(
-                            [cellCopy, seed = seeds[index], envSlot,
-                             scratch, cancelled] {
-                                return runCellAttempt(cellCopy, seed,
+                            [cellCopy, sweepName, seed = seeds[index],
+                             envSlot, scratch, cancelled] {
+                                return runCellAttempt(cellCopy,
+                                                      sweepName, seed,
                                                       envSlot, scratch,
                                                       cancelled);
                             });

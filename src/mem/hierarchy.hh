@@ -144,6 +144,8 @@ class MemoryHierarchy
             return false;           // duplicate in-flight prefetch
         const AccessResult res = lookupAndFill(line);
         mshrs_[inflightCount_++] = {line, now + res.latency};
+        if (inflightCount_ > inflightHighWater_)
+            inflightHighWater_ = inflightCount_;
         ++prefetchesIssued_;
         if (sink_)
             sink_->prefetchFill(now, now + res.latency,
@@ -180,6 +182,10 @@ class MemoryHierarchy
 
     /** Currently occupied MSHR slots (tests/diagnostics). */
     unsigned inflightPrefetches() const { return inflightCount_; }
+
+    /** Most MSHR slots ever occupied at once over this hierarchy's
+     *  lifetime (occupancy gauge; not cleared by reset()). */
+    unsigned inflightHighWater() const { return inflightHighWater_; }
 
     /** Attach (or detach, with nullptr) a walk-event trace sink. */
     void setTraceSink(obs::TraceSink *sink) { sink_ = sink; }
@@ -225,6 +231,7 @@ class MemoryHierarchy
     /** The MSHR file: live slots are mshrs_[0 .. inflightCount_). */
     std::vector<Mshr> mshrs_;
     unsigned inflightCount_ = 0;
+    unsigned inflightHighWater_ = 0;
 
     std::uint64_t prefetchesIssued_ = 0;
     std::uint64_t prefetchesDropped_ = 0;

@@ -177,11 +177,12 @@ TraceSink::clear()
 }
 
 std::string
-TraceSink::chromeJson() const
+TraceSink::chromeJson(const std::string &extraEvents) const
 {
     const std::size_t n = size();
+    const bool extra = !extraEvents.empty();
     std::string out;
-    out.reserve(128 + n * 160);
+    out.reserve(128 + n * 160 + extraEvents.size());
     out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
 
     // Thread-name metadata: one renderer "thread" per machine
@@ -192,7 +193,8 @@ TraceSink::chromeJson() const
                          "\"pid\":0,\"tid\":%u,"
                          "\"args\":{\"name\":\"%s\"}}",
                          t, trackName(static_cast<Track>(t)));
-        out += n > 0 || t + 1 < static_cast<unsigned>(Track::NumTracks)
+        out += n > 0 || extra ||
+                       t + 1 < static_cast<unsigned>(Track::NumTracks)
                    ? ",\n"
                    : "\n";
     }
@@ -216,7 +218,11 @@ TraceSink::chromeJson() const
                              static_cast<unsigned>(event.track));
         }
         appendArgs(out, event);
-        out += i + 1 < n ? "}},\n" : "}}\n";
+        out += i + 1 < n || extra ? "}},\n" : "}}\n";
+    }
+    if (extra) {
+        out += extraEvents;
+        out += '\n';
     }
     out += strprintf("],\"otherData\":{\"emitted\":%lu,"
                      "\"dropped\":%lu}}\n",
@@ -226,11 +232,12 @@ TraceSink::chromeJson() const
 }
 
 void
-TraceSink::writeChromeJson(const std::string &path) const
+TraceSink::writeChromeJson(const std::string &path,
+                           const std::string &extraEvents) const
 {
     std::FILE *file = std::fopen(path.c_str(), "w");
     fatal_if(!file, "cannot write trace to %s", path.c_str());
-    const std::string json = chromeJson();
+    const std::string json = chromeJson(extraEvents);
     const std::size_t written =
         std::fwrite(json.data(), 1, json.size(), file);
     std::fclose(file);

@@ -170,12 +170,23 @@ class TraceSink
 
     // -- Export --------------------------------------------------------
 
-    /** The full Chrome trace-event JSON document (traceEvents array
-     *  plus thread-name metadata; ts/dur are simulated cycles as µs). */
-    std::string chromeJson() const;
+    /**
+     * The full Chrome trace-event JSON document (traceEvents array
+     * plus thread-name metadata; ts/dur are simulated cycles as µs).
+     * @p extraEvents — a comma-joined run of pre-serialized trace
+     * event objects (e.g. Timeline::chromeCounterEvents) — is spliced
+     * into the array after the span events, so walk spans and counter
+     * tracks share one document and one timebase. Empty (the default)
+     * leaves the document byte-identical to the PR-6 exporter.
+     */
+    std::string
+    chromeJson(const std::string &extraEvents = std::string()) const;
 
-    /** Write chromeJson() to @p path (fatal on I/O failure). */
-    void writeChromeJson(const std::string &path) const;
+    /** Write chromeJson(@p extraEvents) to @p path (fatal on I/O
+     *  failure). */
+    void
+    writeChromeJson(const std::string &path,
+                    const std::string &extraEvents = std::string()) const;
 
     /** Human-readable per-kind event counts. */
     std::string summary() const;

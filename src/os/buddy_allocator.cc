@@ -282,6 +282,17 @@ BuddyAllocator::largestFreeOrder() const
     return -1;
 }
 
+std::uint64_t
+BuddyAllocator::fragmentationPermille(unsigned order) const
+{
+    if (freeFrames_ == 0)
+        return 0;
+    std::uint64_t usable = 0;
+    for (unsigned o = order; o <= maxOrder_; ++o)
+        usable += freeSets_[o].size() << o;
+    return 1000 - 1000 * usable / freeFrames_;
+}
+
 bool
 BuddyAllocator::checkConsistency() const
 {

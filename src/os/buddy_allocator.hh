@@ -103,6 +103,18 @@ class BuddyAllocator
     /** Order of the largest free block (fragmentation diagnostic). */
     int largestFreeOrder() const;
 
+    /**
+     * Free-list fragmentation score: per-mille of free frames *not*
+     * usable for a contiguous 2^@p order-frame allocation (Linux's
+     * "unusable free space index", scaled to integers). 0 = every
+     * free frame sits in a block of at least that size; 1000 = no
+     * such block exists. Computed from the authoritative free sets —
+     * deterministic integer arithmetic, read-only. Default order 9 =
+     * a 2MB region, the contiguity grain ASAP PT reservations and
+     * huge pages both care about.
+     */
+    std::uint64_t fragmentationPermille(unsigned order = 9) const;
+
     /** Internal consistency check (tests): bitmap matches free sets. */
     bool checkConsistency() const;
 

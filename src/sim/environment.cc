@@ -47,7 +47,8 @@ Environment::Environment(const WorkloadSpec &spec,
 
 RunStats
 Environment::run(const MachineConfig &machineConfig,
-                 const RunConfig &runConfig, obs::TraceSink *sink)
+                 const RunConfig &runConfig, obs::TraceSink *sink,
+                 obs::Timeline *timeline)
 {
     const double start = obs::wallSeconds();
     RunStats stats;
@@ -57,6 +58,8 @@ Environment::run(const MachineConfig &machineConfig,
         if (sink)
             machine.attachTraceSink(sink);
         Simulator simulator(*system_, machine, *workload_);
+        if (timeline)
+            simulator.attachTimeline(timeline);
         stats = simulator.run(runConfig);
         afterRun = obs::wallSeconds();
     }

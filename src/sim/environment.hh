@@ -65,13 +65,14 @@ class Environment
 
     /**
      * Build a machine and run the workload on this environment. An
-     * optional trace sink (src/obs/) is attached to the machine for
-     * the duration of the run; passing nullptr (the default) keeps the
-     * zero-cost-when-off path.
+     * optional trace sink and an optional timeline (src/obs/) are
+     * attached for the duration of the run; passing nullptr (the
+     * default) keeps the zero-cost-when-off path.
      */
     RunStats run(const MachineConfig &machineConfig,
                  const RunConfig &runConfig,
-                 obs::TraceSink *sink = nullptr);
+                 obs::TraceSink *sink = nullptr,
+                 obs::Timeline *timeline = nullptr);
 
     /** Wall-clock cost of building this environment (System +
      *  prefault); copied into each run's self-profile. */

@@ -84,14 +84,19 @@ Machine::registerCounters(obs::Registry &registry) const
     counter("mshr.prefetchesIssued", mem_.prefetchesIssued());
     counter("mshr.prefetchesDropped", mem_.prefetchesDropped());
     counter("mshr.prefetchMerges", mem_.prefetchMerges());
+    counter("mshr.inflightHighWater", mem_.inflightHighWater());
     counter("tlb.lookups", tlb_.lookups());
     counter("tlb.l1Misses", tlb_.l1Misses());
     counter("tlb.l2Misses", tlb_.l2Misses());
+    counter("tlb.l1ValidEntries", tlb_.l1ValidEntries());
+    counter("tlb.l2ValidEntries", tlb_.l2ValidEntries());
     counter("pwc.app.hits", appPwc_.hits());
     counter("pwc.app.lookups", appPwc_.lookups());
+    counter("pwc.app.validEntries", appPwc_.validEntries());
     if (hostPwc_) {
         counter("pwc.host.hits", hostPwc_->hits());
         counter("pwc.host.lookups", hostPwc_->lookups());
+        counter("pwc.host.validEntries", hostPwc_->validEntries());
     }
     counter("walker.walks", walks());
     counter("walker.faultsServiced", faultsServiced_);

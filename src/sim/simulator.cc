@@ -1,7 +1,10 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "dyn/dynamics.hh"
+#include "obs/timeline.hh"
 #include "os/pt_allocators.hh"
 
 namespace asap
@@ -359,21 +362,146 @@ Simulator::run(const RunConfig &config)
             workload_.seekTo(config.warmupAccesses + config.measureSkip);
     };
 
+    // Counter collection shared by the timeline's epoch boundaries and
+    // the end-of-run snapshot below: the identical name list and the
+    // identical value sources, so the timeline's per-epoch deltas sum
+    // to stats.counters exactly (tests/test_timeline.cc pins this).
+    // Registry readers capture their value at registration time, so a
+    // fresh Registry is built per snapshot — cold path only.
+    const auto collectCounters = [&]() {
+        obs::Registry registry;
+        machine_.registerCounters(registry);
+        system_.registerCounters(registry);
+        auto counters = registry.snapshot();
+        OsDynStats d = stats.dyn;
+        if (appAllocator) {
+            d.regionGrowthHoles =
+                appAllocator->holesCreatedByGrowth() - before.holes;
+            d.regionRelocations =
+                appAllocator->framesRelocatedForGrowth() -
+                before.relocated;
+            d.regionsReleased =
+                appAllocator->regionsReleased() - before.released;
+            d.regionFramesReleased =
+                appAllocator->releasedFrames() - before.releasedFrames;
+        }
+        counters.emplace_back("dyn.events", d.events);
+        counters.emplace_back("dyn.mmaps", d.mmaps);
+        counters.emplace_back("dyn.munmaps", d.munmaps);
+        counters.emplace_back("dyn.minorFaults", d.minorFaults);
+        counters.emplace_back("dyn.madviseFrees", d.madviseFrees);
+        counters.emplace_back("dyn.extends", d.extends);
+        counters.emplace_back("dyn.churnReleases", d.churnReleases);
+        counters.emplace_back("dyn.dataPagesFreed", d.dataPagesFreed);
+        counters.emplace_back("dyn.ptNodesFreed", d.ptNodesFreed);
+        counters.emplace_back("dyn.churnFramesReleased",
+                              d.churnFramesReleased);
+        counters.emplace_back("dyn.tlbInvalidated", d.tlbInvalidated);
+        counters.emplace_back("dyn.pwcInvalidated", d.pwcInvalidated);
+        counters.emplace_back("dyn.regionGrowthHoles",
+                              d.regionGrowthHoles);
+        counters.emplace_back("dyn.regionRelocations",
+                              d.regionRelocations);
+        counters.emplace_back("dyn.regionsReleased", d.regionsReleased);
+        counters.emplace_back("dyn.regionFramesReleased",
+                              d.regionFramesReleased);
+        return counters;
+    };
+
+    // Instantaneous occupancy/fragmentation gauges — state the counter
+    // registry cannot express as lifetime sums. Sampled only at epoch
+    // boundaries (and once at end of run), never on the hot path.
+    const auto collectGauges = [&]() {
+        std::vector<std::pair<std::string, std::uint64_t>> gauges;
+        const auto gauge = [&gauges](const char *name,
+                                     std::uint64_t value) {
+            gauges.emplace_back(name, value);
+        };
+        const auto permille = [](std::uint64_t part,
+                                 std::uint64_t whole) -> std::uint64_t {
+            return whole == 0 ? 0 : 1000 * part / whole;
+        };
+        TlbHierarchy &tlb = machine_.tlb();
+        gauge("tlb.l1Valid", tlb.l1ValidEntries());
+        gauge("tlb.l1ValidPermille",
+              permille(tlb.l1ValidEntries(), tlb.l1Entries()));
+        gauge("tlb.l2Valid", tlb.l2ValidEntries());
+        gauge("tlb.l2ValidPermille",
+              permille(tlb.l2ValidEntries(), tlb.l2Entries()));
+        PageWalkCaches &pwc = machine_.appPwc();
+        gauge("pwc.appValid", pwc.validEntries());
+        gauge("pwc.appValidPermille",
+              permille(pwc.validEntries(), pwc.capacityEntries()));
+        gauge("pt.liveNodes", system_.appPt().nodeCount());
+        gauge("pt.deadNodes", system_.appPt().deadNodeCount());
+        BuddyAllocator &buddy = system_.machineFrames();
+        gauge("buddy.freeFrames", buddy.freeFrames());
+        const int largest = buddy.largestFreeOrder();
+        gauge("buddy.largestFreeOrderPlus1",
+              static_cast<std::uint64_t>(largest + 1));
+        gauge("buddy.fragPermille", buddy.fragmentationPermille());
+        if (appAllocator) {
+            std::uint64_t live = 0, slots = 0, backed = 0;
+            for (const auto *region : appAllocator->regions()) {
+                ++live;
+                slots += region->slots;
+                backed += region->backedSlots;
+            }
+            gauge("asap.regions", live);
+            gauge("asap.regionSlots", slots);
+            gauge("asap.backedSlots", backed);
+            gauge("asap.contigPermille",
+                  slots == 0 ? 1000 : 1000 * backed / slots);
+        }
+        gauge("mshr.inflight", machine_.mem().inflightPrefetches());
+        gauge("mshr.inflightHighWater",
+              machine_.mem().inflightHighWater());
+        return gauges;
+    };
+
     const double phaseStart = obs::wallSeconds();
     if (config.perfectTlb) {
         runPhase<false, true>(config.warmupAccesses, config, cpa, rng,
                               corunnerRng, now, stats);
-        stats.profile.warmupSec = obs::wallSeconds() - phaseStart;
-        seekForMeasure();
-        runPhase<true, true>(config.measureAccesses, config, cpa, rng,
-                             corunnerRng, now, stats);
     } else {
         runPhase<false, false>(config.warmupAccesses, config, cpa, rng,
                                corunnerRng, now, stats);
-        stats.profile.warmupSec = obs::wallSeconds() - phaseStart;
-        seekForMeasure();
-        runPhase<true, false>(config.measureAccesses, config, cpa, rng,
-                              corunnerRng, now, stats);
+    }
+    stats.profile.warmupSec = obs::wallSeconds() - phaseStart;
+    seekForMeasure();
+
+    const auto measurePhase = [&](std::uint64_t accesses) {
+        if (config.perfectTlb) {
+            runPhase<true, true>(accesses, config, cpa, rng, corunnerRng,
+                                 now, stats);
+        } else {
+            runPhase<true, false>(accesses, config, cpa, rng,
+                                  corunnerRng, now, stats);
+        }
+    };
+    const std::uint64_t epochLen =
+        timeline_ ? timeline_->epochAccesses() : 0;
+    if (epochLen == 0) {
+        measurePhase(config.measureAccesses);
+    } else {
+        // Epoch chunking (see attachTimeline): every workload's
+        // nextBatch draws addresses one at a time from its generation
+        // core, so splitting the phase replays the identical stream.
+        // The final boundary is sampled after the post-run bookkeeping
+        // below, so the last epoch's cumulative counters equal
+        // stats.counters exactly.
+        std::uint64_t done = 0;
+        while (done < config.measureAccesses) {
+            const std::uint64_t chunk =
+                std::min(epochLen, config.measureAccesses - done);
+            measurePhase(chunk);
+            done += chunk;
+            if (done < config.measureAccesses) {
+                timeline_->sample(done, now, collectCounters(),
+                                  stats.walkHist, stats.dataHist,
+                                  collectGauges());
+            }
+        }
     }
     stats.profile.measureSec =
         obs::wallSeconds() - phaseStart - stats.profile.warmupSec;
@@ -419,38 +547,17 @@ Simulator::run(const RunConfig &config)
     // Snapshot every registered component counter into the run's
     // result — the sweep layer emits whatever appears here, so new
     // counters need no per-experiment column wiring.
-    obs::Registry registry;
-    machine_.registerCounters(registry);
-    system_.registerCounters(registry);
-    stats.counters = registry.snapshot();
-    stats.counters.emplace_back("dyn.events", stats.dyn.events);
-    stats.counters.emplace_back("dyn.mmaps", stats.dyn.mmaps);
-    stats.counters.emplace_back("dyn.munmaps", stats.dyn.munmaps);
-    stats.counters.emplace_back("dyn.minorFaults",
-                                stats.dyn.minorFaults);
-    stats.counters.emplace_back("dyn.madviseFrees",
-                                stats.dyn.madviseFrees);
-    stats.counters.emplace_back("dyn.extends", stats.dyn.extends);
-    stats.counters.emplace_back("dyn.churnReleases",
-                                stats.dyn.churnReleases);
-    stats.counters.emplace_back("dyn.dataPagesFreed",
-                                stats.dyn.dataPagesFreed);
-    stats.counters.emplace_back("dyn.ptNodesFreed",
-                                stats.dyn.ptNodesFreed);
-    stats.counters.emplace_back("dyn.churnFramesReleased",
-                                stats.dyn.churnFramesReleased);
-    stats.counters.emplace_back("dyn.tlbInvalidated",
-                                stats.dyn.tlbInvalidated);
-    stats.counters.emplace_back("dyn.pwcInvalidated",
-                                stats.dyn.pwcInvalidated);
-    stats.counters.emplace_back("dyn.regionGrowthHoles",
-                                stats.dyn.regionGrowthHoles);
-    stats.counters.emplace_back("dyn.regionRelocations",
-                                stats.dyn.regionRelocations);
-    stats.counters.emplace_back("dyn.regionsReleased",
-                                stats.dyn.regionsReleased);
-    stats.counters.emplace_back("dyn.regionFramesReleased",
-                                stats.dyn.regionFramesReleased);
+    stats.counters = collectCounters();
+
+    // The final epoch boundary: sampled *after* the end-of-stream OS
+    // events and region-delta bookkeeping above, with the very vector
+    // stored in stats — per-epoch deltas therefore sum to the lifetime
+    // snapshot bit-exactly.
+    if (timeline_) {
+        timeline_->sample(config.measureAccesses, now, stats.counters,
+                          stats.walkHist, stats.dataHist,
+                          collectGauges());
+    }
     return stats;
 }
 

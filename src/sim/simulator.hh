@@ -32,6 +32,11 @@
 namespace asap
 {
 
+namespace obs
+{
+class Timeline;
+}
+
 class OsDynamics;
 
 struct RunConfig
@@ -192,6 +197,21 @@ class Simulator
 
     RunStats run(const RunConfig &config);
 
+    /**
+     * Attach (or detach, with nullptr) a time-resolved telemetry
+     * probe (obs/timeline.hh). With a timeline attached, run() splits
+     * the *measure* phase into epoch-sized runPhase calls and samples
+     * counters/histograms/gauges at each boundary — the address
+     * stream, every simulated event, and every RunStats bit are
+     * identical to the unchunked run (workloads generate addresses
+     * one at a time, so batch partitioning cannot change the draw
+     * order; pinned against the Golden suite by
+     * tests/test_timeline.cc). Detached (the default) costs nothing:
+     * one null check per run, zero branches in the hot loops.
+     */
+    void attachTimeline(obs::Timeline *timeline)
+    { timeline_ = timeline; }
+
   private:
     /**
      * One simulation phase (warmup or measurement) over @p accesses
@@ -215,6 +235,9 @@ class Simulator
     /** Accesses consumed so far this run (warmup + measure) — the
      *  clock OS events fire against. */
     std::uint64_t consumed_ = 0;
+
+    /** Null by default (zero-cost detached, like the trace sink). */
+    obs::Timeline *timeline_ = nullptr;
 };
 
 } // namespace asap

@@ -313,6 +313,13 @@ System::registerCounters(obs::Registry &registry) const
     counter("buddy.freeFrames", machineFrames_->freeFrames());
     counter("buddy.allocatedFrames", machineFrames_->allocatedFrames());
     counter("buddy.churnHeldBlocks", machineFrames_->churnHeldBlocks());
+    // Fragmentation introspection (PR 9): the largest-free-order is
+    // reported as order+1 so the "no free block at all" case (-1) and
+    // order-0-only (0) stay distinguishable in an unsigned counter.
+    counter("buddy.largestFreeOrderPlus1",
+            static_cast<std::uint64_t>(machineFrames_->largestFreeOrder() +
+                                       1));
+    counter("buddy.fragPermille", machineFrames_->fragmentationPermille());
     if (guestFrames_) {
         counter("buddy.guest.freeFrames", guestFrames_->freeFrames());
         counter("buddy.guest.allocatedFrames",
@@ -321,6 +328,8 @@ System::registerCounters(obs::Registry &registry) const
     counter("os.pageFaults", appSpace_->pageFaults());
     counter("os.touchedPages", appSpace_->touchedPages());
     counter("os.relocations", appSpace_->relocations());
+    counter("pt.liveNodes", appSpace_->pageTable().nodeCount());
+    counter("pt.deadNodes", appSpace_->pageTable().deadNodeCount());
     if (appAsap_) {
         counter("asapAlloc.app.reservedFrames",
                 appAsap_->reservedFrames());

@@ -126,6 +126,8 @@ class Tlb
     const TlbConfig &config() const { return config_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /** Currently valid entries (occupancy gauge; off the hot path). */
+    std::uint64_t validEntries() const { return entries_.validCount(); }
 
   private:
     /** Per-way state beyond the search key: just the frame (24-byte
@@ -221,6 +223,8 @@ class ClusteredTlb
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /** Currently valid entries (occupancy gauge; off the hot path). */
+    std::uint64_t validEntries() const { return entries_.validCount(); }
     /** Mean number of valid sub-pages per filled entry (diagnostic). */
     double averageClusterOccupancy() const;
 
@@ -314,6 +318,16 @@ class TlbHierarchy
     std::uint64_t l2Misses() const
     { return clustered_ ? clustered_->misses() : l2_->misses(); }
     std::uint64_t lookups() const { return lookups_; }
+
+    /** Occupancy gauges (timeline valid-entry fractions). */
+    std::uint64_t l1ValidEntries() const { return l1_.validEntries(); }
+    std::uint64_t l2ValidEntries() const
+    {
+        return clustered_ ? clustered_->validEntries()
+                          : l2_->validEntries();
+    }
+    unsigned l1Entries() const { return config_.l1.entries; }
+    unsigned l2Entries() const { return config_.l2.entries; }
 
   private:
     Config config_;

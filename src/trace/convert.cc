@@ -334,48 +334,111 @@ histLine(const char *label, const obs::Histogram &hist)
                      static_cast<unsigned long>(hist.count()));
 }
 
-} // namespace
+/** u64 as a JSON decimal string (journal conventions — doubles lose
+ *  integer precision past 2^53). */
+std::string
+u64Json(std::uint64_t value)
+{
+    return strprintf("\"%llu\"", static_cast<unsigned long long>(value));
+}
 
 std::string
-traceAccessStats(const TraceFile &trace)
+histJson(const obs::Histogram &hist)
 {
-    obs::Histogram stride;     // |Δva| between consecutive accesses
-    obs::Histogram reuse;      // accesses since the same page's last touch
-    obs::Histogram touches;    // touches per distinct page
+    return strprintf("{\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s,"
+                     "\"count\":%s}",
+                     u64Json(hist.p50()).c_str(),
+                     u64Json(hist.p90()).c_str(),
+                     u64Json(hist.p99()).c_str(),
+                     u64Json(hist.percentile(1.0)).c_str(),
+                     u64Json(hist.count()).c_str());
+}
+
+/** One scan of the stored stream, shared by the text and JSON
+ *  formatters. */
+struct AccessStats
+{
+    obs::Histogram stride;    ///< |Δva| between consecutive accesses
+    obs::Histogram reuse;     ///< accesses since the same page's last touch
+    obs::Histogram touches;   ///< touches per distinct page
+    std::uint64_t accesses = 0;
+    std::size_t footprintPages = 0;
+};
+
+AccessStats
+scanAccessStats(const TraceFile &trace)
+{
+    AccessStats stats;
     std::unordered_map<Vpn, std::uint64_t> lastTouch;
     std::unordered_map<Vpn, std::uint64_t> touchCount;
 
     TraceCursor cursor(trace);
-    const std::uint64_t accesses = trace.header().accessCount;
+    stats.accesses = trace.header().accessCount;
     VirtAddr prev = 0;
-    for (std::uint64_t i = 0; i < accesses; ++i) {
+    for (std::uint64_t i = 0; i < stats.accesses; ++i) {
         const VirtAddr va = cursor.next();
         if (i > 0) {
-            stride.sample(va > prev ? va - prev : prev - va);
+            stats.stride.sample(va > prev ? va - prev : prev - va);
         }
         prev = va;
         const Vpn page = va >> pageShift;
         const auto last = lastTouch.find(page);
         if (last != lastTouch.end())
-            reuse.sample(i - last->second);
+            stats.reuse.sample(i - last->second);
         lastTouch[page] = i;
         ++touchCount[page];
     }
     for (const auto &[page, count] : touchCount)
-        touches.sample(count);
+        stats.touches.sample(count);
+    stats.footprintPages = touchCount.size();
+    return stats;
+}
 
+} // namespace
+
+std::string
+traceAccessStats(const TraceFile &trace)
+{
+    const AccessStats stats = scanAccessStats(trace);
     std::string out = strprintf("%s: access-pattern statistics "
                                 "(%lu stored accesses)\n",
                                 trace.path().c_str(),
-                                static_cast<unsigned long>(accesses));
-    out += histLine("stride (bytes)", stride);
-    out += histLine("reuse interval (accs)", reuse);
-    out += histLine("touches per page", touches);
+                                static_cast<unsigned long>(
+                                    stats.accesses));
+    out += histLine("stride (bytes)", stats.stride);
+    out += histLine("reuse interval (accs)", stats.reuse);
+    out += histLine("touches per page", stats.touches);
     out += strprintf("  footprint             %zu distinct pages "
                      "(%lu KiB)\n",
-                     touchCount.size(),
+                     stats.footprintPages,
                      static_cast<unsigned long>(
-                         (touchCount.size() * pageSize) >> 10));
+                         (stats.footprintPages * pageSize) >> 10));
+    return out;
+}
+
+std::string
+traceAccessStatsJson(const TraceFile &trace)
+{
+    const AccessStats stats = scanAccessStats(trace);
+    const TraceHeader &header = trace.header();
+    std::string out = "{";
+    out += strprintf("\"trace\":\"%s\",\"name\":\"%s\","
+                     "\"statsVersion\":1,",
+                     trace.path().c_str(), header.name.c_str());
+    out += strprintf("\"accesses\":%s,\"representedAccesses\":%s,"
+                     "\"sampleInterval\":%u,",
+                     u64Json(stats.accesses).c_str(),
+                     u64Json(header.representedAccesses).c_str(),
+                     header.sampleInterval);
+    out += strprintf("\"footprintPages\":%s,\"footprintBytes\":%s,",
+                     u64Json(stats.footprintPages).c_str(),
+                     u64Json(stats.footprintPages * pageSize).c_str());
+    out += strprintf("\"strideBytes\":%s,\"reuseAccesses\":%s,"
+                     "\"touchesPerPage\":%s}",
+                     histJson(stats.stride).c_str(),
+                     histJson(stats.reuse).c_str(),
+                     histJson(stats.touches).c_str());
+    out += "\n";
     return out;
 }
 

@@ -108,6 +108,14 @@ std::string traceSummary(const TraceFile &trace);
 std::string traceAccessStats(const TraceFile &trace);
 
 /**
+ * The same statistics as traceAccessStats as one machine-readable JSON
+ * object (trailing newline): header identity, footprint, and the
+ * stride/reuse/touch histograms' percentile summaries. u64 values are
+ * decimal strings (journal conventions); parse back with exp::Json.
+ */
+std::string traceAccessStatsJson(const TraceFile &trace);
+
+/**
  * Replay both traces on a fresh native System with the paper-default
  * machine and compare RunStats field by field. @p report receives a
  * one-line-per-field account of any mismatch. Only meaningful when

@@ -132,6 +132,30 @@ class PageWalkCaches
     std::uint64_t hits() const { return hits_; }
     std::uint64_t lookups() const { return lookups_; }
 
+    /** Currently valid entries across all level caches (occupancy
+     *  gauge; off the hot path). */
+    std::uint64_t
+    validEntries() const
+    {
+        std::uint64_t valid = 0;
+        for (const auto &cache : caches_)
+            valid += cache.validCount();
+        return valid;
+    }
+
+    /** Total configured capacity of the instantiated level caches —
+     *  the denominator of the valid-entry fraction. */
+    std::uint64_t
+    capacityEntries() const
+    {
+        std::uint64_t capacity = 0;
+        for (unsigned level = 2; level < 6; ++level) {
+            if (!caches_[level].empty())
+                capacity += config_.level[level].entries;
+        }
+        return capacity;
+    }
+
   private:
     /** Per-way state beyond the VA tag. */
     struct Payload

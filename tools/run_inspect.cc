@@ -11,12 +11,21 @@
  * "thread" per machine dimension). --summary prints per-kind event
  * counts plus the run's headline statistics and latency percentiles.
  *
+ * --timeline[=N] attaches an obs::Timeline sampling every N measured
+ * accesses (default: measure/32) and merges its Perfetto *counter
+ * tracks* (interval percentiles, occupancy gauges, per-epoch counter
+ * deltas) into the --events document — spans and drift curves on one
+ * timebase. --timeline-out writes the epoch table itself (JSONL, or
+ * CSV when the path ends in .csv); a write failure is reported but
+ * never kills the run (recoverable io_error).
+ *
  * The workload spec is anything specByName accepts (suite names,
  * name@dynprofile, trace:path); the environment is a named preset over
  * the same EnvironmentOptions/MachineConfig plumbing the sweeps use.
  * ASAP_QUICK=1 applies the standard quick-mode scaling.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "common/status.hh"
+#include "obs/timeline.hh"
 #include "obs/trace_sink.hh"
 #include "sim/environment.hh"
 #include "workloads/suite.hh"
@@ -112,6 +122,12 @@ usage(const char *argv0)
         "                  trace:path — anything a sweep accepts)\n"
         "  --env NAME      environment preset (see below)\n"
         "  --events PATH   write Chrome trace-event JSON (Perfetto)\n"
+        "  --timeline[=N]  sample a timeline epoch every N measured\n"
+        "                  accesses (default measure/32); merges counter\n"
+        "                  tracks into --events output\n"
+        "  --timeline-out PATH\n"
+        "                  write the epoch table (JSONL; CSV if PATH\n"
+        "                  ends in .csv)\n"
         "  --summary       print per-kind event counts and run stats\n"
         "  --seed N        run seed (default 7)\n"
         "  --accesses N    measured accesses (default: RunConfig default;\n"
@@ -132,6 +148,9 @@ run(int argc, char **argv)
     std::string specName;
     std::string envName;
     std::string eventsPath;
+    std::string timelinePath;
+    bool timeline = false;
+    std::uint64_t epochAccesses = 0;   ///< 0 = auto (measure/32)
     bool summary = false;
     std::uint64_t seed = 7;
     std::uint64_t accesses = 0;
@@ -143,6 +162,15 @@ run(int argc, char **argv)
             envName = argv[++i];
         } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
             eventsPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--timeline") == 0) {
+            timeline = true;
+        } else if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
+            timeline = true;
+            epochAccesses = std::strtoull(argv[i] + 11, nullptr, 0);
+        } else if (std::strcmp(argv[i], "--timeline-out") == 0 &&
+                   i + 1 < argc) {
+            timeline = true;
+            timelinePath = argv[++i];
         } else if (std::strcmp(argv[i], "--summary") == 0) {
             summary = true;
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -188,13 +216,42 @@ run(int argc, char **argv)
 
     obs::TraceSink sink(capacity);
     sink.setEnabled(true);
-    const RunStats stats = environment.run(chosen.machine, run, &sink);
+    // Default epoch length: 32 epochs over the measure phase — enough
+    // resolution for drift curves without drowning the trace viewer.
+    if (timeline && epochAccesses == 0)
+        epochAccesses = std::max<std::uint64_t>(run.measureAccesses / 32,
+                                                1);
+    obs::Timeline epochs(epochAccesses);
+    epochs.setEnabled(true);
+    const RunStats stats = environment.run(
+        chosen.machine, run, &sink, timeline ? &epochs : nullptr);
 
     if (!eventsPath.empty()) {
-        sink.writeChromeJson(eventsPath);
-        std::printf("%s: %llu events (%llu dropped)\n", eventsPath.c_str(),
+        sink.writeChromeJson(eventsPath, timeline
+                                             ? epochs.chromeCounterEvents()
+                                             : std::string());
+        std::printf("%s: %llu events (%llu dropped)%s\n",
+                    eventsPath.c_str(),
                     static_cast<unsigned long long>(sink.emitted()),
-                    static_cast<unsigned long long>(sink.dropped()));
+                    static_cast<unsigned long long>(sink.dropped()),
+                    timeline ? " + timeline counter tracks" : "");
+    }
+    if (timeline && !timelinePath.empty()) {
+        const bool csv = timelinePath.size() > 4 &&
+                         timelinePath.compare(timelinePath.size() - 4, 4,
+                                              ".csv") == 0;
+        const Status status = csv ? epochs.writeCsv(timelinePath)
+                                  : epochs.writeJsonl(timelinePath);
+        if (status.ok()) {
+            std::printf("%s: %zu epochs (every %llu accesses)\n",
+                        timelinePath.c_str(), epochs.epochCount(),
+                        static_cast<unsigned long long>(epochAccesses));
+        } else {
+            // Recoverable by design: the run's results are already in
+            // hand; a failed artifact write must not turn into exit(1).
+            std::fprintf(stderr, "run_inspect: timeline write failed: %s\n",
+                         status.toString().c_str());
+        }
     }
     if (summary) {
         std::printf("%s @ %s: %llu accesses, %llu walks, "

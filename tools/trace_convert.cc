@@ -54,6 +54,9 @@ usage(const char *argv0)
         "  --no-compress   store raw chunks (default: deflate when it\n"
         "                  shrinks; %s)\n"
         "  --stats         print a summary of the files\n"
+        "  --json          with --stats: one machine-readable JSON\n"
+        "                  object instead of text (u64s as decimal\n"
+        "                  strings)\n"
         "  --verify        replay in and out, diff RunStats (full\n"
         "                  conversions only — sampling changes the\n"
         "                  stream by design)\n"
@@ -85,7 +88,7 @@ run(int argc, char **argv)
     std::string in, out, from, name;
     Trc2Options options;
     ImportOptions importOptions;
-    bool stats = false, verify = false;
+    bool stats = false, statsJson = false, verify = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -111,6 +114,8 @@ run(int argc, char **argv)
             options.compress = false;
         } else if (std::strcmp(arg, "--stats") == 0) {
             stats = true;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            statsJson = true;
         } else if (std::strcmp(arg, "--verify") == 0) {
             verify = true;
         } else if (std::strcmp(arg, "--name") == 0 && i + 1 < argc) {
@@ -136,13 +141,20 @@ run(int argc, char **argv)
     if (in.empty())
         return usage(argv[0]);
 
+    if (statsJson && !stats)
+        return usage(argv[0]);
+
     // Inspect-only mode: --stats with a single path.
     if (out.empty()) {
         if (!stats)
             return usage(argv[0]);
         const TraceFile trace(in);
-        std::fputs(traceSummary(trace).c_str(), stdout);
-        std::fputs(traceAccessStats(trace).c_str(), stdout);
+        if (statsJson) {
+            std::fputs(traceAccessStatsJson(trace).c_str(), stdout);
+        } else {
+            std::fputs(traceSummary(trace).c_str(), stdout);
+            std::fputs(traceAccessStats(trace).c_str(), stdout);
+        }
         return 0;
     }
 
@@ -204,8 +216,12 @@ run(int argc, char **argv)
 
     if (stats) {
         const TraceFile trace(out);
-        std::fputs(traceSummary(trace).c_str(), stdout);
-        std::fputs(traceAccessStats(trace).c_str(), stdout);
+        if (statsJson) {
+            std::fputs(traceAccessStatsJson(trace).c_str(), stdout);
+        } else {
+            std::fputs(traceSummary(trace).c_str(), stdout);
+            std::fputs(traceAccessStats(trace).c_str(), stdout);
+        }
     }
 
     if (verify) {
