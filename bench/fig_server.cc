@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Server-consolidation sweep (the multi-core headline figure): N mcf
+ * tenants with live OS churn ("tenants" dynamics profile) packed onto
+ * M cores under the deterministic rotation scheduler (src/mc). The
+ * question the static figures cannot ask: what does translation
+ * latency — and especially its tail — cost when TLB/PWC state is
+ * shared, context switches are real, and munmap shootdowns cross
+ * cores as IPIs.
+ *
+ * Rows are tenant counts, columns are core counts. Every cell is a
+ * probe cell running its own MultiCoreSimulator (the serial sweep
+ * machinery only knows single-stream Environments); the probe fills
+ * CellResult::extra with aggregate and *per-tenant* walk percentiles
+ * plus the IPI/scheduler telemetry, so the cells CSV/JSON carries the
+ * full fairness picture and the sweep is journaled/resumable like any
+ * other figure (ASAP_RESUME replays finished cells byte-identically).
+ *
+ * Usage: fig_server [--quick]
+ *   --quick  CI smoke: sets ASAP_QUICK=1 (shrinks footprints and
+ *            access counts) and trims the grid to 2x2.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "exp/result_table.hh"
+#include "exp/sweep.hh"
+#include "mc/multicore.hh"
+#include "workloads/dynamic.hh"
+#include "workloads/synthetic.hh"
+
+using namespace asap;
+using namespace asap::exp;
+
+namespace
+{
+
+/** One tenant's OS state + access stream (caller keeps it alive for
+ *  the simulator's lifetime). */
+struct Tenant
+{
+    std::unique_ptr<System> system;
+    std::unique_ptr<Workload> workload;
+};
+
+Tenant
+makeTenant(const WorkloadSpec &spec)
+{
+    Tenant tenant;
+    tenant.system =
+        std::make_unique<System>(makeSystemConfig(spec, {}));
+    tenant.workload = makeWorkload(spec);
+    tenant.workload->setup(*tenant.system);
+    return tenant;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (quick)
+        setenv("ASAP_QUICK", "1", 1);
+    const char *quickEnv = std::getenv("ASAP_QUICK");
+    if (quickEnv && quickEnv[0] != '\0' && quickEnv[0] != '0')
+        quick = true;
+
+    const std::vector<unsigned> tenantCounts =
+        quick ? std::vector<unsigned>{2, 4}
+              : std::vector<unsigned>{2, 4, 8, 16};
+    const std::vector<unsigned> coreCounts =
+        quick ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4};
+
+    // Per-tenant workload: mcf with the "tenants" churn profile (16
+    // event bursts per run — mmap/munmap/madvise, so shootdowns are
+    // real). applyQuickMode/defaultRunConfig pick up ASAP_QUICK.
+    const RunConfig baseRun = defaultRunConfig();
+    const WorkloadSpec tenantSpec = withDynamics(
+        applyQuickMode(mcfSpec()), "tenants", 1.0,
+        (baseRun.warmupAccesses + baseRun.measureAccesses) / 16);
+
+    SweepSpec sweep("fig_server");
+    std::vector<std::string> columns;
+    for (const unsigned cores : coreCounts)
+        columns.push_back(strprintf("c%u", cores));
+
+    for (const unsigned tenants : tenantCounts) {
+        for (const unsigned cores : coreCounts) {
+            const std::string row = strprintf("t%u", tenants);
+            const std::string column = strprintf("c%u", cores);
+            // A distinct (tiny) group spec per cell so the runner can
+            // schedule cells onto separate workers; the probe builds
+            // its real tenant Systems itself.
+            WorkloadSpec groupSpec = scaledDown(mcfSpec(), 64);
+            groupSpec.churnOps = 0;
+            groupSpec.name = strprintf("server_%s_%s", row.c_str(),
+                                       column.c_str());
+            sweep.addProbe(
+                groupSpec, {}, row, column,
+                [tenants, cores, tenantSpec,
+                 baseRun](Environment &, CellResult &cell) {
+                    RunConfig run = baseRun;
+                    // Decorrelate cells deterministically.
+                    run.seed = 900 + 10 * tenants + cores;
+
+                    mc::McConfig mcConfig;
+                    mcConfig.cores = cores;
+                    mc::MultiCoreSimulator sim(
+                        mcConfig,
+                        makeMachineConfig(AsapConfig::p1p2()));
+                    std::vector<Tenant> held;
+                    held.reserve(tenants);
+                    for (unsigned t = 0; t < tenants; ++t) {
+                        held.push_back(makeTenant(tenantSpec));
+                        sim.addTenant(*held.back().system,
+                                      *held.back().workload);
+                    }
+                    const mc::McResult result = sim.run(run);
+
+                    const RunStats &agg = result.aggregate;
+                    auto put = [&cell](const std::string &key,
+                                       double value) {
+                        cell.extra[key] = value;
+                    };
+                    put("aggAccesses", double(agg.accesses));
+                    put("aggAvgWalk", agg.avgWalkLatency());
+                    put("aggWalkP50", double(agg.walkHist.p50()));
+                    put("aggWalkP99", double(agg.walkHist.p99()));
+                    put("aggWalkP999", double(agg.walkHist.p999()));
+                    put("slots", double(result.slots));
+                    put("maxCoreCycle", double(result.maxCoreCycle));
+
+                    // Per-tenant walk percentiles: the fairness story.
+                    for (unsigned t = 0; t < tenants; ++t) {
+                        const RunStats &ts = result.tenants[t];
+                        const std::string p = strprintf("t%u.", t);
+                        put(p + "walkP50", double(ts.walkHist.p50()));
+                        put(p + "walkP90", double(ts.walkHist.p90()));
+                        put(p + "walkP99", double(ts.walkHist.p99()));
+                        put(p + "walkP999",
+                            double(ts.walkHist.p999()));
+                    }
+
+                    // IPI/scheduler telemetry (initiator-attributed).
+                    std::uint64_t shootdowns = 0, ipisSent = 0;
+                    Cycles sendWait = 0, remote = 0, switchIn = 0;
+                    for (const mc::TenantStats &t : result.tenantMc) {
+                        shootdowns += t.shootdowns;
+                        ipisSent += t.ipisSent;
+                        sendWait += t.ipiSendWaitCycles;
+                        remote += t.ipiRemoteCycles;
+                        switchIn += t.switchInCycles;
+                    }
+                    put("shootdowns", double(shootdowns));
+                    put("ipisSent", double(ipisSent));
+                    put("ipiSendWaitCycles", double(sendWait));
+                    put("ipiRemoteCycles", double(remote));
+                    put("switchInCycles", double(switchIn));
+                    std::uint64_t switches = 0;
+                    for (unsigned c = 0; c < cores; ++c) {
+                        const mc::CoreStats &cs = result.coreMc[c];
+                        switches += cs.switches;
+                        const std::string p = strprintf("core%u.", c);
+                        put(p + "ipisReceived",
+                            double(cs.ipisReceived));
+                        put(p + "ipiInterruptCycles",
+                            double(cs.ipiInterruptCycles));
+                    }
+                    put("contextSwitches", double(switches));
+                });
+        }
+    }
+
+    const ResultSet results = SweepRunner().run(sweep);
+
+    const auto extraTable = [&](const char *title, const char *key) {
+        ResultTable table(title, columns);
+        for (const unsigned tenants : tenantCounts) {
+            const std::string row = strprintf("t%u", tenants);
+            std::vector<double> values;
+            for (const std::string &column : columns)
+                values.push_back(results.extra(row, column, key));
+            table.addRow(row, values);
+        }
+        return table;
+    };
+
+    const ResultTable p99 = extraTable(
+        "Server consolidation: aggregate p99 walk latency (cycles), "
+        "tenants x cores",
+        "aggWalkP99");
+    emit("fig_server_p99", p99);
+    emit("fig_server_avg",
+         extraTable("Server consolidation: average walk latency "
+                    "(cycles), tenants x cores",
+                    "aggAvgWalk"));
+    emit("fig_server_ipi",
+         extraTable("Server consolidation: remote IPI cycles "
+                    "(initiator-attributed), tenants x cores",
+                    "ipiRemoteCycles"));
+    emit("fig_server_switches",
+         extraTable("Server consolidation: context switches, "
+                    "tenants x cores",
+                    "contextSwitches"));
+
+    // Worst-tenant tail on the largest machine: consolidation is only
+    // as good as its unluckiest tenant.
+    ResultTable worst(
+        "Worst-tenant p99 walk latency vs aggregate (largest core "
+        "count)",
+        {"aggP99", "worstTenantP99", "spreadPct"});
+    const std::string bigCol = columns.back();
+    for (const unsigned tenants : tenantCounts) {
+        const std::string row = strprintf("t%u", tenants);
+        const double agg = results.extra(row, bigCol, "aggWalkP99");
+        double worstP99 = 0.0;
+        for (unsigned t = 0; t < tenants; ++t)
+            worstP99 = std::max(
+                worstP99, results.extra(row, bigCol,
+                                        strprintf("t%u.walkP99", t)));
+        worst.addRow(row, {agg, worstP99,
+                           agg > 0.0
+                               ? 100.0 * (worstP99 - agg) / agg
+                               : 0.0});
+    }
+    emit("fig_server_worst", worst);
+    emitCells(sweep.name(), results);
+
+    const auto &rows = p99.rows();
+    std::printf("\nConsolidation tail (aggregate walk p99, %s): "
+                "%s %.0f -> %s %.0f cycles as tenants scale\n",
+                bigCol.c_str(), rows.front().first.c_str(),
+                rows.front().second.back(), rows.back().first.c_str(),
+                rows.back().second.back());
+    return 0;
+}

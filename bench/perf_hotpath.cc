@@ -47,6 +47,7 @@
 #include "exp/json.hh"
 #include "exp/result_table.hh"
 #include "exp/sweep.hh"
+#include "mc/multicore.hh"
 #include "obs/profile.hh"
 #include "sim/environment.hh"
 #include "sim/parallel_replay.hh"
@@ -441,6 +442,74 @@ timeParallelReplay(const WorkloadSpec &spec, bool quick, unsigned reps,
     return timings;
 }
 
+/**
+ * Multi-core simulator throughput: the interleaved slot loop, the
+ * context-switch path and the IPI shootdown fan-out on top of the same
+ * per-access hot path. Tracked, not gated (no baseline entry): the mc
+ * loop's cost profile is its own datapoint, and per-access overhead vs
+ * the serial cases reads directly off the acc/s column. Per-tenant
+ * footprints are kept moderate so mc_16tenant stays CI-sized; the
+ * charged access count is the total across tenants.
+ */
+CaseTiming
+timeMcCase(const std::string &name, unsigned cores, unsigned tenants,
+           bool quick, unsigned reps)
+{
+    WorkloadSpec spec = mcfSpec();
+    spec.name = name;
+    spec.residentPages = quick ? 20'000 : 60'000;
+    spec.windowPages = 4'000;
+    spec.churnOps = quick ? 5'000 : 20'000;
+    spec = withDynamics(spec, "tenants");
+
+    RunConfig run = defaultRunConfig(false);
+    run.warmupAccesses = quick ? 10'000 : 50'000;
+    run.measureAccesses = quick ? 40'000 : 200'000;
+
+    mc::McConfig mcConfig;
+    mcConfig.cores = cores;
+    const MachineConfig machine = makeMachineConfig(AsapConfig::p1p2());
+
+    struct Tenant
+    {
+        std::unique_ptr<System> system;
+        std::unique_ptr<Workload> workload;
+    };
+
+    CaseTiming timing;
+    timing.name = name;
+    timing.accesses =
+        tenants * (run.warmupAccesses + run.measureAccesses);
+    timing.seconds = 1e300;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        // An mc run is one-shot and mutates its tenant Systems:
+        // rebuild everything each rep, outside the timed window.
+        mc::MultiCoreSimulator sim(mcConfig, machine);
+        std::vector<Tenant> held;
+        held.reserve(tenants);
+        for (unsigned t = 0; t < tenants; ++t) {
+            Tenant tenant;
+            tenant.system = std::make_unique<System>(
+                makeSystemConfig(spec, EnvironmentOptions{}));
+            tenant.workload = makeWorkload(spec);
+            tenant.workload->setup(*tenant.system);
+            held.push_back(std::move(tenant));
+            sim.addTenant(*held.back().system,
+                          *held.back().workload);
+        }
+        const double start = cpuSeconds();
+        const mc::McResult result = sim.run(run);
+        const double secs = cpuSeconds() - start;
+        if (secs < timing.seconds) {
+            timing.seconds = secs;
+            timing.avgWalkLatency = result.aggregate.avgWalkLatency();
+        }
+    }
+    timing.accessesPerSec =
+        static_cast<double>(timing.accesses) / timing.seconds;
+    return timing;
+}
+
 /** @return exit status: non-zero when a case regressed >20%. */
 int
 checkBaseline(const std::vector<CaseTiming> &timings,
@@ -624,6 +693,31 @@ main(int argc, char **argv)
                     timing.name.c_str(),
                     static_cast<unsigned long>(accesses), timing.seconds,
                     timing.accessesPerSec, timing.avgWalkLatency);
+    }
+
+    // Multi-core scheduler throughput (generator workloads only —
+    // replayed traces are single-stream by construction).
+    if (tracePath.empty()) {
+        struct McShape
+        {
+            const char *name;
+            unsigned cores, tenants;
+        };
+        for (const McShape &shape :
+             {McShape{"mc_2core", 2, 4}, McShape{"mc_16tenant", 4, 16}}) {
+            if (!only.empty() && only != shape.name)
+                continue;
+            const CaseTiming timing = timeMcCase(
+                shape.name, shape.cores, shape.tenants, quick, reps);
+            timings.push_back(timing);
+            std::printf("%-14s %9lu accesses  %8.3f s  %12.0f acc/s  "
+                        "(walk %.1f cyc, %ux%u)\n",
+                        timing.name.c_str(),
+                        static_cast<unsigned long>(timing.accesses),
+                        timing.seconds, timing.accessesPerSec,
+                        timing.avgWalkLatency, shape.cores,
+                        shape.tenants);
+        }
     }
 
     // Trace-decode throughput rides along unless a single unrelated

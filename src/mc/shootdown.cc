@@ -1,0 +1,26 @@
+#include "mc/shootdown.hh"
+
+#include "mc/multicore.hh"
+
+namespace asap::mc
+{
+
+obs::TraceSink *
+TenantShootdownProxy::traceSink() const
+{
+    return sim_.sink_;
+}
+
+Machine::InvalidateCounts
+TenantShootdownProxy::invalidateRange(VirtAddr start, VirtAddr end)
+{
+    return sim_.tenantShootdown(tenant_, start, end);
+}
+
+void
+TenantShootdownProxy::refreshDescriptors()
+{
+    sim_.tenantRefresh(tenant_);
+}
+
+} // namespace asap::mc

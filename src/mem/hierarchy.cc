@@ -3,10 +3,17 @@
 namespace asap
 {
 
-MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
-    : config_(config), l1d_(config.l1d), l2_(config.l2), llc_(config.llc),
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
+                                 Cache *sharedLlc)
+    : config_(config), l1d_(config.l1d), l2_(config.l2),
       mshrs_(config.prefetchMshrs)
 {
+    if (sharedLlc) {
+        llc_ = sharedLlc;
+    } else {
+        llcOwned_.emplace(config.llc);
+        llc_ = &*llcOwned_;
+    }
 }
 
 void
@@ -14,7 +21,7 @@ MemoryHierarchy::reset()
 {
     l1d_.reset();
     l2_.reset();
-    llc_.reset();
+    llc_->reset();
     inflightCount_ = 0;
     prefetchesIssued_ = 0;
     prefetchesDropped_ = 0;

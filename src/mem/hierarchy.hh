@@ -28,6 +28,7 @@
 #define ASAP_MEM_HIERARCHY_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/mem_level.hh"
@@ -65,7 +66,15 @@ struct HierarchyConfig
 class MemoryHierarchy
 {
   public:
-    explicit MemoryHierarchy(const HierarchyConfig &config = {});
+    /**
+     * @p sharedLlc — when non-null, this hierarchy's L3 is the given
+     * externally-owned cache instead of a private one: the multi-core
+     * model gives every core private L1/L2/MSHRs over one shared LLC.
+     * Null (the default) keeps the hierarchy self-contained and
+     * bit-identical to the single-core model.
+     */
+    explicit MemoryHierarchy(const HierarchyConfig &config = {},
+                             Cache *sharedLlc = nullptr);
 
     /**
      * Demand access at simulated time @p now.
@@ -77,7 +86,7 @@ class MemoryHierarchy
     AccessResult
     access(PhysAddr paddr, Cycles now)
     {
-        const std::uint64_t line = lineOf(paddr);
+        const std::uint64_t line = lineOf(paddr) + lineBias_;
         AccessResult res = lookupAndFill(line);
         // Common no-merge path: a short predictable scan over the
         // (≤16-slot) MSHR file, skipped when nothing is in flight.
@@ -108,7 +117,7 @@ class MemoryHierarchy
     AccessResult
     accessPlain(PhysAddr paddr)
     {
-        return lookupAndFill(lineOf(paddr));
+        return lookupAndFill(lineOf(paddr) + lineBias_);
     }
 
     /**
@@ -122,7 +131,7 @@ class MemoryHierarchy
     bool
     prefetch(PhysAddr paddr, Cycles now)
     {
-        const std::uint64_t line = lineOf(paddr);
+        const std::uint64_t line = lineOf(paddr) + lineBias_;
         // Already resident in L1-D: nothing to do (and nothing gained).
         if (l1d_.probe(line))
             return false;
@@ -164,16 +173,28 @@ class MemoryHierarchy
     void
     prefetchHostSets(PhysAddr paddr) const
     {
-        const std::uint64_t line = lineOf(paddr);
-        llc_.prefetchFor(line);
+        const std::uint64_t line = lineOf(paddr) + lineBias_;
+        llc_->prefetchFor(line);
     }
 
     /** Drop all cache contents and in-flight prefetch state. */
     void reset();
 
+    /**
+     * Physical-line bias added to every line this hierarchy touches —
+     * how the multi-core model maps N tenants' overlapping physical
+     * address spaces into one shared LLC without collisions. Bias 0
+     * (the default, and always tenant 0's value) leaves every line,
+     * tag and set index bit-identical to the unbiased hierarchy.
+     * In-flight MSHR records keep the bias they were issued under, so
+     * cross-tenant lines can never falsely merge.
+     */
+    void setLineBias(std::uint64_t bias) { lineBias_ = bias; }
+    std::uint64_t lineBias() const { return lineBias_; }
+
     const Cache &l1d() const { return l1d_; }
     const Cache &l2() const { return l2_; }
-    const Cache &llc() const { return llc_; }
+    const Cache &llc() const { return *llc_; }
     const HierarchyConfig &config() const { return config_; }
 
     std::uint64_t prefetchesIssued() const { return prefetchesIssued_; }
@@ -211,7 +232,7 @@ class MemoryHierarchy
             return {MemLevel::L1D, config_.l1d.latency};
         if (l2_.accessAndFill(line))
             return {MemLevel::L2, config_.l2.latency};
-        if (llc_.accessAndFill(line))
+        if (llc_->accessAndFill(line))
             return {MemLevel::Llc, config_.llc.latency};
         return {MemLevel::Dram, config_.memLatency};
     }
@@ -226,7 +247,12 @@ class MemoryHierarchy
     HierarchyConfig config_;
     Cache l1d_;
     Cache l2_;
-    Cache llc_;
+    /** Private LLC storage; empty when an external one is shared. */
+    std::optional<Cache> llcOwned_;
+    /** The LLC in use: &*llcOwned_, or the shared external cache. */
+    Cache *llc_ = nullptr;
+    /** Tenant line-coloring bias (see setLineBias). */
+    std::uint64_t lineBias_ = 0;
 
     /** The MSHR file: live slots are mshrs_[0 .. inflightCount_). */
     std::vector<Mshr> mshrs_;

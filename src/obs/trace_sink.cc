@@ -24,6 +24,7 @@ kindName(EventKind kind)
       case EventKind::PrefetchMerge: return "prefetch merge";
       case EventKind::OsEvent: return "os event";
       case EventKind::Shootdown: return "shootdown";
+      case EventKind::Ipi: return "ipi";
       default: return "?";
     }
 }
@@ -119,6 +120,11 @@ appendArgs(std::string &out, const TraceEvent &event)
       case EventKind::Shootdown:
         out += strprintf("\"tlbDropped\":%lu,\"pwcDropped\":%lu",
                          event.a0, event.a1);
+        break;
+      case EventKind::Ipi:
+        out += strprintf("\"initiatorCore\":%lu,\"targetCore\":%lu,"
+                         "\"interruptCycles\":%lu",
+                         event.a0, event.a1, event.a2);
         break;
       default:
         break;

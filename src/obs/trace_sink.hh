@@ -40,6 +40,8 @@ enum class EventKind : std::uint8_t
     PrefetchMerge,   ///< demand merged with fill: a0=line PA, a1=exposed lat
     OsEvent,         ///< mid-run OS event: a0=OsEventKind, a1=addr, a2=pages
     Shootdown,       ///< targeted invalidation: a0=TLB drops, a1=PWC drops
+    Ipi,             ///< inter-core shootdown IPI: a0=initiating core,
+                     ///< a1=target core, a2=interrupt cost (cycles)
     NumKinds
 };
 
@@ -151,6 +153,16 @@ class TraceSink
     {
         push({at, 0, EventKind::Shootdown, Track::Os, tlbDropped,
               pwcDropped, 0});
+    }
+
+    /** A remote-core shootdown IPI (multi-core model): core
+     *  @p initiator interrupts core @p target for @p cost cycles. */
+    void
+    ipi(Cycles at, std::uint64_t initiator, std::uint64_t target,
+        Cycles cost)
+    {
+        push({at, 0, EventKind::Ipi, Track::Os, initiator, target,
+              cost});
     }
 
     // -- Inspection ----------------------------------------------------

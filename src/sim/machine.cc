@@ -7,31 +7,49 @@ namespace asap
 {
 
 Machine::Machine(System &system, const MachineConfig &config)
-    : system_(system), config_(config), mem_(config.mem),
-      tlb_(config.tlb),
+    : Machine(system, config, nullptr, nullptr)
+{
+}
+
+Machine::Machine(System &system, const MachineConfig &config,
+                 MemoryHierarchy *sharedMem, TlbHierarchy *sharedTlb)
+    : system_(system), config_(config),
       appPwc_(config.pwc.scaled(config.pwcScale),
               system.config().ptLevels),
       appRegisters_(config.rangeRegisters),
       hostRegisters_(config.rangeRegisters)
 {
+    if (sharedMem) {
+        mem_ = sharedMem;
+    } else {
+        memOwned_.emplace(config.mem);
+        mem_ = &*memOwned_;
+    }
+    if (sharedTlb) {
+        tlb_ = sharedTlb;
+    } else {
+        tlbOwned_.emplace(config.tlb);
+        tlb_ = &*tlbOwned_;
+    }
+
     if (config_.appAsap.enabled)
-        appEngine_ = std::make_unique<AsapEngine>(appRegisters_, mem_,
+        appEngine_ = std::make_unique<AsapEngine>(appRegisters_, *mem_,
                                                   config_.appAsap);
 
     if (!system_.virtualized()) {
         nativeWalker_ = std::make_unique<PageWalker>(
-            system_.appPt(), mem_, appPwc_, appEngine_.get());
+            system_.appPt(), *mem_, appPwc_, appEngine_.get());
     } else {
         if (config_.hostAsap.enabled)
             hostEngine_ = std::make_unique<AsapEngine>(hostRegisters_,
-                                                       mem_,
+                                                       *mem_,
                                                        config_.hostAsap);
         hostPwc_.emplace(config_.pwc.scaled(config_.pwcScale),
                          system_.config().hostPtLevels);
         hostWalker_ = std::make_unique<PageWalker>(
-            system_.hostPt(), mem_, *hostPwc_, hostEngine_.get());
+            system_.hostPt(), *mem_, *hostPwc_, hostEngine_.get());
         nestedWalker_ = std::make_unique<NestedWalker>(
-            system_.appPt(), appPwc_, *hostWalker_, mem_, system_,
+            system_.appPt(), appPwc_, *hostWalker_, *mem_, system_,
             appEngine_.get());
     }
 
@@ -42,7 +60,7 @@ void
 Machine::attachTraceSink(obs::TraceSink *sink)
 {
     sink_ = sink;
-    mem_.setTraceSink(sink);
+    mem_->setTraceSink(sink);
     if (appEngine_)
         appEngine_->setTraceSink(sink, obs::Track::AsapApp);
     if (hostEngine_)
@@ -71,25 +89,43 @@ packWalkLevels(const WalkResult &walk)
 void
 Machine::registerCounters(obs::Registry &registry) const
 {
+    registerMemTlbCounters(registry, *mem_, *tlb_);
+    registerTranslationCounters(registry);
+}
+
+void
+Machine::registerMemTlbCounters(obs::Registry &registry,
+                                const MemoryHierarchy &mem,
+                                const TlbHierarchy &tlb)
+{
     const auto counter = [&registry](const char *name,
                                      std::uint64_t value) {
         registry.add(name, [value] { return value; });
     };
-    counter("l1d.hits", mem_.l1d().hits());
-    counter("l1d.misses", mem_.l1d().misses());
-    counter("l2.hits", mem_.l2().hits());
-    counter("l2.misses", mem_.l2().misses());
-    counter("llc.hits", mem_.llc().hits());
-    counter("llc.misses", mem_.llc().misses());
-    counter("mshr.prefetchesIssued", mem_.prefetchesIssued());
-    counter("mshr.prefetchesDropped", mem_.prefetchesDropped());
-    counter("mshr.prefetchMerges", mem_.prefetchMerges());
-    counter("mshr.inflightHighWater", mem_.inflightHighWater());
-    counter("tlb.lookups", tlb_.lookups());
-    counter("tlb.l1Misses", tlb_.l1Misses());
-    counter("tlb.l2Misses", tlb_.l2Misses());
-    counter("tlb.l1ValidEntries", tlb_.l1ValidEntries());
-    counter("tlb.l2ValidEntries", tlb_.l2ValidEntries());
+    counter("l1d.hits", mem.l1d().hits());
+    counter("l1d.misses", mem.l1d().misses());
+    counter("l2.hits", mem.l2().hits());
+    counter("l2.misses", mem.l2().misses());
+    counter("llc.hits", mem.llc().hits());
+    counter("llc.misses", mem.llc().misses());
+    counter("mshr.prefetchesIssued", mem.prefetchesIssued());
+    counter("mshr.prefetchesDropped", mem.prefetchesDropped());
+    counter("mshr.prefetchMerges", mem.prefetchMerges());
+    counter("mshr.inflightHighWater", mem.inflightHighWater());
+    counter("tlb.lookups", tlb.lookups());
+    counter("tlb.l1Misses", tlb.l1Misses());
+    counter("tlb.l2Misses", tlb.l2Misses());
+    counter("tlb.l1ValidEntries", tlb.l1ValidEntries());
+    counter("tlb.l2ValidEntries", tlb.l2ValidEntries());
+}
+
+void
+Machine::registerTranslationCounters(obs::Registry &registry) const
+{
+    const auto counter = [&registry](const char *name,
+                                     std::uint64_t value) {
+        registry.add(name, [value] { return value; });
+    };
     counter("pwc.app.hits", appPwc_.hits());
     counter("pwc.app.lookups", appPwc_.lookups());
     counter("pwc.app.validEntries", appPwc_.validEntries());
@@ -153,7 +189,7 @@ Machine::translateMiss(VirtAddr va, Cycles now)
             sink_->walkSpan(now, walk.latency, va, out.faulted,
                             packWalkLevels(walk));
         }
-        tlb_.fill(va, walk.translation, &system_.appPt());
+        tlb_->fill(va, walk.translation, &system_.appPt());
     } else {
         NestedWalkResult walk = nestedWalker_->walk(va, now);
         if (walk.fault) {
@@ -173,7 +209,7 @@ Machine::translateMiss(VirtAddr va, Cycles now)
         }
         // Nested walks carry no per-level breakdown: out.walk stays
         // null.
-        tlb_.fill(va, walk.translation, nullptr);
+        tlb_->fill(va, walk.translation, nullptr);
     }
     return out;
 }

@@ -45,12 +45,35 @@ struct MachineConfig
     AsapConfig hostAsap = AsapConfig::off();
 
     unsigned rangeRegisters = RangeRegisterFile::defaultCapacity;
+
+    /**
+     * Inter-processor-interrupt cost model for multi-core TLB
+     * shootdowns (src/mc). A shootdown with R remote targets charges
+     * the initiating core R * ipiSendLatency + ipiWaitLatency (send
+     * each IPI, then wait for all acks) and each remote core
+     * ipiInterruptLatency (take the interrupt, run the INVLPG loop).
+     * Single-core runs never touch these.
+     */
+    Cycles ipiSendLatency = 150;
+    Cycles ipiWaitLatency = 400;
+    Cycles ipiInterruptLatency = 700;
 };
 
 class Machine
 {
   public:
     Machine(System &system, const MachineConfig &config);
+
+    /**
+     * Multi-core constructor: translation machinery privately owned,
+     * but the memory hierarchy and TLB hierarchy borrowed from the
+     * core this machine is scheduled onto (@p sharedMem / @p
+     * sharedTlb, both outliving the Machine; either may be null to
+     * own that part privately). The mc subsystem builds one Machine
+     * per (tenant, core) pair over per-core shared structures.
+     */
+    Machine(System &system, const MachineConfig &config,
+            MemoryHierarchy *sharedMem, TlbHierarchy *sharedTlb);
 
     /** Outcome of one address translation. */
     struct TranslateResult
@@ -79,7 +102,7 @@ class Machine
     TranslateResult
     translate(VirtAddr va, Cycles now)
     {
-        const TlbHierarchy::Result tlbRes = tlb_.lookup(va);
+        const TlbHierarchy::Result tlbRes = tlb_->lookup(va);
         if (tlbRes.hit()) {
             TranslateResult out;
             out.tlbLevel = tlbRes.level;
@@ -120,7 +143,7 @@ class Machine
         const unsigned slot = levelIndex(va, 1);
         __builtin_prefetch(&node.entries[slot], 0, 3);
         if (!system_.virtualized()) {
-            mem_.prefetchHostSets((node.pfn << pageShift) +
+            mem_->prefetchHostSets((node.pfn << pageShift) +
                                   slot * pteSize);
         }
         return &node.entries[slot];
@@ -142,7 +165,7 @@ class Machine
         const Pte entry = *pte;
         if (!entry.present() || entry.huge())
             return;
-        mem_.prefetchHostSets((entry.pfn() << pageShift) |
+        mem_->prefetchHostSets((entry.pfn() << pageShift) |
                               (va & (pageSize - 1)));
     }
 
@@ -150,7 +173,7 @@ class Machine
     Cycles
     dataAccess(PhysAddr pa)
     {
-        return mem_.accessPlain(pa).latency;
+        return mem_->accessPlain(pa).latency;
     }
 
     /** One co-runner access: a random line in machine memory
@@ -158,7 +181,7 @@ class Machine
     void
     corunnerAccess(Rng &rng)
     {
-        mem_.accessPlain(rng.below(system_.machineMemBytes()));
+        mem_->accessPlain(rng.below(system_.machineMemBytes()));
     }
 
     /** Rebuild range registers from current OS state (e.g. after VMA
@@ -184,13 +207,29 @@ class Machine
     invalidateRange(VirtAddr start, VirtAddr end)
     {
         InvalidateCounts counts;
-        counts.tlb = tlb_.invalidateRange(start, end);
+        counts.tlb = tlb_->invalidateRange(start, end);
         counts.pwc = appPwc_.invalidateRange(start, end);
         return counts;
     }
 
-    MemoryHierarchy &mem() { return mem_; }
-    TlbHierarchy &tlb() { return tlb_; }
+    /**
+     * Full translation flush: every TLB entry and every
+     * application-dimension PWC entry is dropped, all hit/miss
+     * counters kept — semantically invalidateRange over the whole
+     * address space (the differential test in tests/test_mc.cc pins
+     * the equivalence). This is the no-PCID CR3-reload effect of a
+     * context switch in the multi-core model; host-dimension
+     * structures survive, exactly as in invalidateRange().
+     */
+    void
+    flush()
+    {
+        tlb_->flushEntries();
+        appPwc_.flushEntries();
+    }
+
+    MemoryHierarchy &mem() { return *mem_; }
+    TlbHierarchy &tlb() { return *tlb_; }
     PageWalkCaches &appPwc() { return appPwc_; }
     const AsapEngine *appEngine() const { return appEngine_.get(); }
     const AsapEngine *hostEngine() const { return hostEngine_.get(); }
@@ -214,6 +253,25 @@ class Machine
      *  MSHRs, walkers, ASAP engines) under stable dotted names. */
     void registerCounters(obs::Registry &registry) const;
 
+    /**
+     * The core-scoped half of registerCounters(): cache, MSHR and TLB
+     * counters, which in the multi-core model belong to a core's
+     * shared structures rather than to any one tenant's machine.
+     * Static so the mc subsystem can register a core's structures
+     * without a Machine in hand; registerCounters() is exactly this
+     * followed by registerTranslationCounters(), preserving the
+     * single-core name order.
+     */
+    static void registerMemTlbCounters(obs::Registry &registry,
+                                       const MemoryHierarchy &mem,
+                                       const TlbHierarchy &tlb);
+
+    /** The tenant-scoped half: PWCs, walker, range registers and ASAP
+     *  engines — the state private to this Machine. */
+    void registerTranslationCounters(obs::Registry &registry) const;
+
+    const MachineConfig &config() const { return config_; }
+
   private:
     /** TLB-miss path of translate(): the (possibly nested) walk. */
     TranslateResult translateMiss(VirtAddr va, Cycles now);
@@ -225,8 +283,13 @@ class Machine
      *  TranslateResult::walk). */
     WalkResult walkScratch_;
 
-    MemoryHierarchy mem_;
-    TlbHierarchy tlb_;
+    /** Privately-owned memory/TLB hierarchies; empty when the
+     *  multi-core constructor shares a core's structures instead. */
+    std::optional<MemoryHierarchy> memOwned_;
+    std::optional<TlbHierarchy> tlbOwned_;
+    /** The hierarchies in use: owned or shared (never null). */
+    MemoryHierarchy *mem_ = nullptr;
+    TlbHierarchy *tlb_ = nullptr;
     PageWalkCaches appPwc_;
 
     RangeRegisterFile appRegisters_;

@@ -9,6 +9,13 @@
  * The execution-time model — used for Figure 2 / Table 1 / Table 6 —
  * charges per access: the workload's compute cycles, the data-access
  * latency, and the full walk latency on a TLB miss.
+ *
+ * NOTE: the multi-core model (src/mc/multicore.cc, runQuantum)
+ * mirrors this file's per-access arithmetic line for line — the
+ * 1-core/1-tenant mc shape is pinned bit-identical to Simulator::run,
+ * RunStats and counters included (tests/test_mc.cc). A change to the
+ * access loop, the stats accounting or collectCounters() here must be
+ * reflected there, or test_mc will tell you.
  */
 
 #ifndef ASAP_SIM_SIMULATOR_HH

@@ -24,15 +24,44 @@ Tlb::flush()
     misses_ = 0;
 }
 
+void
+Tlb::flushEntries()
+{
+    entries_.flush();
+    for (auto &count : residentPerLevel_)
+        count = 0;
+}
+
 std::uint64_t
 Tlb::invalidateRange(VirtAddr start, VirtAddr end)
 {
+    return invalidateRangeKey(start, end, asidKey_);
+}
+
+std::uint64_t
+Tlb::invalidateRangeAsid(VirtAddr start, VirtAddr end,
+                         std::uint16_t asid)
+{
+    return invalidateRangeKey(
+        start, end, static_cast<std::uint64_t>(asid) << asidShift);
+}
+
+std::uint64_t
+Tlb::invalidateRangeKey(VirtAddr start, VirtAddr end,
+                        std::uint64_t asidKey)
+{
+    constexpr std::uint64_t asidMask = ~((std::uint64_t{1} << asidShift) - 1);
     return entries_.invalidateWhere(
-        [this, start, end](std::uint64_t key, const Payload &) {
+        [this, start, end, asidKey,
+         asidMask](std::uint64_t key, const Payload &) {
             // Stored keys pack the leaf level into the low two bits
-            // (see keyOf); recover the page span from them.
+            // and the ASID into the high bits (see keyOf); only the
+            // targeted address space is shot down.
+            if ((key & asidMask) != asidKey)
+                return false;
             const auto level = static_cast<unsigned>(key & 3);
-            const VirtAddr base = (key >> 2) << levelShift(level);
+            const VirtAddr base =
+                ((key & ~asidMask) >> 2) << levelShift(level);
             const bool drop =
                 base < end && base + levelSpan(level) > start;
             if (drop)
@@ -170,6 +199,39 @@ TlbHierarchy::flush()
     else
         l2_->flush();
     lookups_ = 0;
+}
+
+void
+TlbHierarchy::flushEntries()
+{
+    l1_.flushEntries();
+    if (clustered_)
+        clustered_->flushEntries();
+    else
+        l2_->flushEntries();
+}
+
+void
+TlbHierarchy::setAsid(std::uint16_t asid)
+{
+    fatal_if(clustered_ && asid != 0,
+             "clustered L2 TLB entries are untagged; PCID-style "
+             "multi-tenant sharing is unsupported");
+    l1_.setAsid(asid);
+    if (l2_)
+        l2_->setAsid(asid);
+}
+
+std::uint64_t
+TlbHierarchy::invalidateRangeAsid(VirtAddr start, VirtAddr end,
+                                  std::uint16_t asid)
+{
+    std::uint64_t dropped = l1_.invalidateRangeAsid(start, end, asid);
+    if (clustered_)
+        dropped += clustered_->invalidateRange(start, end);
+    else
+        dropped += l2_->invalidateRangeAsid(start, end, asid);
+    return dropped;
 }
 
 std::uint64_t

@@ -100,6 +100,9 @@ class Tlb
                  "%s: fill with unsupported page size level %u",
                  config_.name.c_str(), level);
         const std::uint64_t tag = tagOf(va, level);
+        panic_if(asidKey_ != 0 && (tag >> (asidShift - 2)) != 0,
+                 "%s: VA %#lx tag collides with ASID bits",
+                 config_.name.c_str(), va);
         const auto slot =
             entries_.findOrVictim(entries_.setOf(tag), keyOf(tag, level));
         if (!slot.matched) {
@@ -116,12 +119,44 @@ class Tlb
     void flush();
 
     /**
+     * Drop all cached entries but keep the hit/miss counters — the
+     * CR3-reload (no-PCID context switch) flush of the multi-core
+     * model, where counters are lifetime statistics of the structure
+     * and must survive tenant switches. flush() resets counters and
+     * stays the scenario-reset primitive.
+     */
+    void flushEntries();
+
+    /**
+     * Address-space tagging (PCID): entries filled after setAsid(@p
+     * asid) match lookups only under the same ASID. ASID 0 (the
+     * default) leaves every key bit-identical to the untagged TLB, so
+     * the single-core path is unaffected.
+     */
+    void
+    setAsid(std::uint16_t asid)
+    {
+        asidKey_ = static_cast<std::uint64_t>(asid) << asidShift;
+    }
+
+    /**
      * Targeted shootdown: drop every translation whose page overlaps
      * [@p start, @p end) — the INVLPG loop an OS issues on munmap /
      * madvise(DONTNEED) (dyn subsystem), instead of a full flush.
-     * Off the hot path (full scan). @return entries dropped.
+     * Only entries of the *current* ASID are dropped (an OS invalidates
+     * its own mappings). Off the hot path (full scan).
+     * @return entries dropped.
      */
     std::uint64_t invalidateRange(VirtAddr start, VirtAddr end);
+
+    /**
+     * Remote-shootdown variant: drop overlapping entries tagged with
+     * @p asid, regardless of the ASID currently loaded — the IPI
+     * handler on a remote core invalidates the *initiator's* address
+     * space while some other tenant is running.
+     */
+    std::uint64_t
+    invalidateRangeAsid(VirtAddr start, VirtAddr end, std::uint16_t asid);
 
     const TlbConfig &config() const { return config_; }
     std::uint64_t hits() const { return hits_; }
@@ -137,18 +172,32 @@ class Tlb
         Pfn pfn;
     };
 
+    /** Bit position of the ASID tag within a stored key. User-space
+     *  VPN tags shifted by 2 stay below 2^40 for any canonical
+     *  address, so ASID bits at 48+ can never collide with them (the
+     *  fill path asserts this). */
+    static constexpr unsigned asidShift = 48;
+
     std::uint64_t tagOf(VirtAddr va, unsigned level) const
     { return va >> levelShift(level); }
 
     /** Search key: the size-specific VPN with the leaf level packed
-     *  into the low bits, so one 64-bit compare matches both. The
-     *  level bits (1..3) keep the key non-zero; recovering the level
-     *  of a stored key is (key & 3). */
+     *  into the low bits, so one 64-bit compare matches both, plus the
+     *  current ASID in the high bits (0 unless setAsid() was used).
+     *  The level bits (1..3) keep the key non-zero; recovering the
+     *  level of a stored key is (key & 3). */
     std::uint64_t keyOf(std::uint64_t tag, unsigned level) const
-    { return (tag << 2) | level; }
+    { return (tag << 2) | level | asidKey_; }
+
+    /** invalidateRange / invalidateRangeAsid implementation. */
+    std::uint64_t
+    invalidateRangeKey(VirtAddr start, VirtAddr end,
+                       std::uint64_t asidKey);
 
     TlbConfig config_;
     SetAssoc<Payload> entries_;
+    /** Current ASID, pre-shifted for keyOf (0 = untagged). */
+    std::uint64_t asidKey_ = 0;
     /** Resident entries per leaf level (lookup skips empty sizes). */
     std::uint32_t residentPerLevel_[4] = {0, 0, 0, 0};
     std::uint64_t hits_ = 0;
@@ -214,6 +263,9 @@ class ClusteredTlb
               const PageTable &pt);
 
     void flush();
+
+    /** Drop all entries, keep counters (multi-core context switch). */
+    void flushEntries() { entries_.flush(); }
 
     /** Targeted shootdown: drop every entry whose 8-page cluster
      *  overlaps [@p start, @p end). Dropping the whole cluster entry
@@ -310,9 +362,28 @@ class TlbHierarchy
 
     void flush();
 
+    /** Drop all entries across both levels but keep every counter —
+     *  the no-PCID context-switch flush (multi-core model). */
+    void flushEntries();
+
+    /**
+     * Switch both levels to @p asid (PCID semantics): subsequent fills
+     * are tagged, lookups match only the current tag. ASID 0 keeps
+     * keys bit-identical to the untagged hierarchy. The clustered L2
+     * stores untagged cluster keys, so nonzero ASIDs are rejected
+     * there (the multi-core model refuses clustered configs with more
+     * than one tenant).
+     */
+    void setAsid(std::uint16_t asid);
+
     /** Targeted shootdown of [@p start, @p end) across both levels.
      *  @return total entries dropped. */
     std::uint64_t invalidateRange(VirtAddr start, VirtAddr end);
+
+    /** Remote-shootdown variant: drop only entries tagged @p asid
+     *  (see Tlb::invalidateRangeAsid). */
+    std::uint64_t
+    invalidateRangeAsid(VirtAddr start, VirtAddr end, std::uint16_t asid);
 
     std::uint64_t l1Misses() const { return l1_.misses(); }
     std::uint64_t l2Misses() const

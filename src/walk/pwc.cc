@@ -92,4 +92,11 @@ PageWalkCaches::flush()
     lookups_ = 0;
 }
 
+void
+PageWalkCaches::flushEntries()
+{
+    for (auto &cache : caches_)
+        cache.flush();
+}
+
 } // namespace asap

@@ -118,6 +118,11 @@ class PageWalkCaches
     /** Invalidate everything (context switch / scenario reset). */
     void flush();
 
+    /** Drop all cached entries but keep the hit/lookup counters —
+     *  the CR3-reload flush of the multi-core model, where the PWC is
+     *  per-core hardware and its counters are lifetime statistics. */
+    void flushEntries();
+
     /**
      * Targeted shootdown: drop every cached entry whose covered VA span
      * overlaps [@p start, @p end). Required on munmap/madvise (dyn

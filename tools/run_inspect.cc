@@ -29,14 +29,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.hh"
+#include "mc/multicore.hh"
 #include "obs/timeline.hh"
 #include "obs/trace_sink.hh"
 #include "sim/environment.hh"
 #include "workloads/suite.hh"
+#include "workloads/synthetic.hh"
 
 using namespace asap;
 
@@ -129,6 +132,11 @@ usage(const char *argv0)
         "                  write the epoch table (JSONL; CSV if PATH\n"
         "                  ends in .csv)\n"
         "  --summary       print per-kind event counts and run stats\n"
+        "  --cores N       multi-core mode: schedule onto N cores\n"
+        "  --tenants N     multi-core mode: N tenant copies of --spec\n"
+        "                  (either flag > 1 switches to the src/mc\n"
+        "                  simulator; IPI events land in --events, one\n"
+        "                  gauge track per core in --timeline)\n"
         "  --seed N        run seed (default 7)\n"
         "  --accesses N    measured accesses (default: RunConfig default;\n"
         "                  ASAP_QUICK=1 shrinks it)\n"
@@ -152,6 +160,8 @@ run(int argc, char **argv)
     bool timeline = false;
     std::uint64_t epochAccesses = 0;   ///< 0 = auto (measure/32)
     bool summary = false;
+    unsigned mcCores = 1;
+    unsigned mcTenants = 1;
     std::uint64_t seed = 7;
     std::uint64_t accesses = 0;
     std::size_t capacity = obs::TraceSink::defaultCapacity;
@@ -173,6 +183,13 @@ run(int argc, char **argv)
             timelinePath = argv[++i];
         } else if (std::strcmp(argv[i], "--summary") == 0) {
             summary = true;
+        } else if (std::strcmp(argv[i], "--cores") == 0 && i + 1 < argc) {
+            mcCores = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--tenants") == 0 &&
+                   i + 1 < argc) {
+            mcTenants = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--accesses") == 0 &&
@@ -209,22 +226,67 @@ run(int argc, char **argv)
     }
     const EnvPreset &chosen = *preset;
 
-    Environment environment(*spec, chosen.env);
+    const bool multicore = mcCores > 1 || mcTenants > 1;
+    if (mcCores == 0 || mcTenants == 0) {
+        std::fprintf(stderr,
+                     "run_inspect: --cores/--tenants must be >= 1\n");
+        return 2;
+    }
+
     RunConfig run = defaultRunConfig(chosen.colocation, seed);
     if (accesses != 0)
         run.measureAccesses = accesses;
 
     obs::TraceSink sink(capacity);
     sink.setEnabled(true);
-    // Default epoch length: 32 epochs over the measure phase — enough
-    // resolution for drift curves without drowning the trace viewer.
+    // Default epoch length: 32 epochs over the measure phase (summed
+    // across tenants in multi-core mode) — enough resolution for drift
+    // curves without drowning the trace viewer.
     if (timeline && epochAccesses == 0)
-        epochAccesses = std::max<std::uint64_t>(run.measureAccesses / 32,
-                                                1);
+        epochAccesses = std::max<std::uint64_t>(
+            run.measureAccesses * mcTenants / 32, 1);
     obs::Timeline epochs(epochAccesses);
     epochs.setEnabled(true);
-    const RunStats stats = environment.run(
-        chosen.machine, run, &sink, timeline ? &epochs : nullptr);
+
+    // One tenant's OS state + stream (multi-core mode; tenants must
+    // outlive the simulator's run).
+    struct Tenant
+    {
+        std::unique_ptr<System> system;
+        std::unique_ptr<Workload> workload;
+    };
+
+    RunStats stats;
+    mc::McResult mcResult;
+    if (multicore) {
+        // N identical tenant processes of --spec on M cores under the
+        // deterministic mc scheduler (each tenant still gets its own
+        // derived stream seed; see mc/multicore.cc).
+        mc::McConfig mcConfig;
+        mcConfig.cores = mcCores;
+        mc::MultiCoreSimulator sim(mcConfig, chosen.machine);
+        std::vector<Tenant> tenants;
+        tenants.reserve(mcTenants);
+        for (unsigned t = 0; t < mcTenants; ++t) {
+            Tenant tenant;
+            tenant.system = std::make_unique<System>(
+                makeSystemConfig(*spec, chosen.env));
+            tenant.workload = makeWorkload(*spec);
+            tenant.workload->setup(*tenant.system);
+            tenants.push_back(std::move(tenant));
+            sim.addTenant(*tenants.back().system,
+                          *tenants.back().workload);
+        }
+        sim.attachTraceSink(&sink);
+        if (timeline)
+            sim.attachTimeline(&epochs);
+        mcResult = sim.run(run);
+        stats = mcResult.aggregate;
+    } else {
+        Environment environment(*spec, chosen.env);
+        stats = environment.run(chosen.machine, run, &sink,
+                                timeline ? &epochs : nullptr);
+    }
 
     if (!eventsPath.empty()) {
         sink.writeChromeJson(eventsPath, timeline
@@ -276,6 +338,40 @@ run(int argc, char **argv)
                     stats.profile.measureSec, stats.profile.accessesPerSec,
                     static_cast<double>(stats.profile.peakRssBytes) /
                         (1024.0 * 1024.0));
+        if (multicore) {
+            std::printf("mc: %u cores x %u tenants, %llu slots, "
+                        "max core cycle %llu\n",
+                        mcCores, mcTenants,
+                        static_cast<unsigned long long>(mcResult.slots),
+                        static_cast<unsigned long long>(
+                            mcResult.maxCoreCycle));
+            for (unsigned t = 0; t < mcTenants; ++t) {
+                const RunStats &ts = mcResult.tenants[t];
+                const mc::TenantStats &tm = mcResult.tenantMc[t];
+                std::printf(
+                    "  tenant %-3u %llu accesses  avg walk %6.1f  "
+                    "p99 %5llu  shootdowns %llu  ipisSent %llu  "
+                    "ipiCycles %llu\n",
+                    t, static_cast<unsigned long long>(ts.accesses),
+                    ts.avgWalkLatency(),
+                    static_cast<unsigned long long>(ts.walkHist.p99()),
+                    static_cast<unsigned long long>(tm.shootdowns),
+                    static_cast<unsigned long long>(tm.ipisSent),
+                    static_cast<unsigned long long>(
+                        tm.ipiSendWaitCycles + tm.ipiRemoteCycles));
+            }
+            for (unsigned c = 0; c < mcCores; ++c) {
+                const mc::CoreStats &cs = mcResult.coreMc[c];
+                std::printf("  core %-5u switches %-6llu "
+                            "ipisReceived %-6llu interruptCycles %llu\n",
+                            c,
+                            static_cast<unsigned long long>(cs.switches),
+                            static_cast<unsigned long long>(
+                                cs.ipisReceived),
+                            static_cast<unsigned long long>(
+                                cs.ipiInterruptCycles));
+            }
+        }
         std::fputs(sink.summary().c_str(), stdout);
     }
     return 0;
